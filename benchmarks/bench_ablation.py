@@ -1,0 +1,35 @@
+"""Ablations A1-A3 (DESIGN.md): the efficient approach's design choices.
+
+Benchmarks the full algorithm against variants with client pruning
+(Lemma 5.1), partition grouping, or the bottom-up traversal disabled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import ABLATION_VARIANTS
+from repro.core.efficient import efficient_minmax
+from repro.core.problem import IFLSProblem
+from repro.index.distance import VIPDistanceEngine
+
+from conftest import synthetic_workload
+
+
+@pytest.mark.parametrize("variant", sorted(ABLATION_VARIANTS))
+def test_ablation_minmax(benchmark, variant):
+    engine, clients, facilities = synthetic_workload("MC", seed=90)
+    options = ABLATION_VARIANTS[variant]
+
+    def run():
+        distances = VIPDistanceEngine(engine.tree)
+        problem = IFLSProblem(distances, clients, facilities)
+        return efficient_minmax(problem, options)
+
+    result = benchmark(run)
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["objective"] = result.objective
+    benchmark.extra_info["queue_pops"] = result.stats.queue_pops
+    benchmark.extra_info["facilities_retrieved"] = (
+        result.stats.facilities_retrieved
+    )

@@ -1,0 +1,99 @@
+"""Index-backend comparison: why the paper picks the VIP-tree.
+
+Reproduces the trade-off discussion of paper §2.3/§4 by benchmarking
+door-to-door distance resolution on four backends built from the same
+venue:
+
+* **dijkstra** — no index, on-demand single-source search (the
+  accessibility-graph approach of Lu et al.);
+* **doortable** — all-pairs hash table (Yang et al.): fastest queries,
+  quadratic memory and build;
+* **iptree** — hierarchical matrices (IP-tree): small memory, query
+  cost grows with tree depth;
+* **viptree** — IP-tree plus vivid matrices: near-O(1) queries at
+  moderate memory.
+
+Entry counts are attached as ``extra_info`` so memory and speed can be
+read side by side from the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro import DistanceService, VIPTree
+from repro.datasets import venue_by_name
+from repro.index.doortable import DoorTableIndex
+from repro.index.iptree import IPTreeDistanceIndex
+
+_STATE = {}
+
+
+def _backends(venue_name: str):
+    if venue_name not in _STATE:
+        venue = venue_by_name(venue_name)
+        tree = VIPTree(venue)
+        _STATE[venue_name] = {
+            "venue": venue,
+            "viptree": tree,
+            "doortable": DoorTableIndex(venue, graph=tree.graph),
+            "iptree": IPTreeDistanceIndex(tree),
+            "dijkstra": DistanceService(venue, graph=tree.graph),
+        }
+    return _STATE[venue_name]
+
+
+def _pairs(venue, count=150, seed=9):
+    doors = sorted(venue.door_ids())
+    rng = random.Random(seed)
+    return [tuple(rng.sample(doors, 2)) for _ in range(count)]
+
+
+@pytest.mark.parametrize("backend",
+                         ["dijkstra", "doortable", "iptree", "viptree"])
+@pytest.mark.parametrize("venue_name", ["MC", "MZB"])
+def test_door_to_door_throughput(benchmark, venue_name, backend):
+    state = _backends(venue_name)
+    index = state[backend]
+    pairs = _pairs(state["venue"])
+
+    if backend == "dijkstra":
+        def run():
+            # Fresh service: no memoised rows, the honest no-index cost.
+            service = DistanceService(
+                state["venue"], graph=state["viptree"].graph
+            )
+            return sum(service.door_to_door(a, b) for a, b in pairs[:10])
+    else:
+        def run():
+            return sum(index.door_to_door(a, b) for a, b in pairs)
+
+    benchmark(run)
+    benchmark.extra_info["venue"] = venue_name
+    benchmark.extra_info["pairs"] = 10 if backend == "dijkstra" else len(pairs)
+    if hasattr(index, "matrix_entry_count"):
+        benchmark.extra_info["matrix_entries"] = index.matrix_entry_count()
+
+
+@pytest.mark.parametrize(
+    "builder",
+    ["viptree", "doortable", "iptree"],
+)
+def test_index_build_cost(benchmark, builder):
+    venue = venue_by_name("MC")
+    base_tree = VIPTree(venue)
+
+    if builder == "viptree":
+        target = lambda: VIPTree(venue)  # noqa: E731
+    elif builder == "doortable":
+        target = lambda: DoorTableIndex(  # noqa: E731
+            venue, graph=base_tree.graph
+        )
+    else:
+        target = lambda: IPTreeDistanceIndex(base_tree)  # noqa: E731
+
+    result = benchmark(target)
+    benchmark.extra_info["matrix_entries"] = result.matrix_entry_count()

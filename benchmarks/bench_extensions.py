@@ -1,0 +1,47 @@
+"""Extensions E1-E2 (paper Section 7): MinDist and MaxSum variants.
+
+Benchmarks the efficient extension algorithms and the brute-force
+oracle on the same workloads (smaller |C| — the oracle computes all
+client/candidate distances).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import synthetic_workload
+
+EXT_CLIENTS = 200
+
+
+@pytest.mark.parametrize("objective", ["mindist", "maxsum"])
+@pytest.mark.parametrize("algorithm", ["efficient", "bruteforce"])
+def test_extension_objectives(benchmark, objective, algorithm):
+    engine, clients, facilities = synthetic_workload(
+        "MC", clients=EXT_CLIENTS, seed=91
+    )
+    result = benchmark(
+        lambda: engine.query(
+            clients,
+            facilities,
+            objective=objective,
+            algorithm=algorithm,
+            cold=True,
+        )
+    )
+    benchmark.extra_info["objective_kind"] = objective
+    benchmark.extra_info["objective_value"] = result.objective
+
+
+@pytest.mark.parametrize("objective", ["minmax", "mindist", "maxsum"])
+def test_efficient_across_objectives(benchmark, objective):
+    engine, clients, facilities = synthetic_workload(
+        "CPH", clients=EXT_CLIENTS, seed=92
+    )
+    result = benchmark(
+        lambda: engine.query(
+            clients, facilities, objective=objective, cold=True
+        )
+    )
+    benchmark.extra_info["objective_kind"] = objective
+    benchmark.extra_info["objective_value"] = result.objective

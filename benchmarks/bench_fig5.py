@@ -1,0 +1,55 @@
+"""Figure 5: effect of client size |C|, real setting (Melbourne Central).
+
+The paper varies |C| over {1k..20k} for five facility categories; here
+each (category, |C|) point is one pytest-benchmark case at benchmark
+scale.  Full series: ``python -m repro bench --experiment fig5``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import QUERY_CATEGORIES, real_setting_facilities
+from repro.datasets.workloads import uniform_clients
+
+from conftest import engine_for
+
+CLIENT_POINTS = (100, 500, 1000)
+
+
+def _workload(category: str, clients: int):
+    engine = engine_for("MC")
+    facilities = real_setting_facilities(engine.venue, category)
+    rng = random.Random(clients)
+    return engine, uniform_clients(engine.venue, clients, rng), facilities
+
+
+@pytest.mark.parametrize("category", QUERY_CATEGORIES)
+@pytest.mark.parametrize("algorithm", ["efficient", "baseline"])
+def test_fig5_default_clients(benchmark, category, algorithm):
+    engine, clients, facilities = _workload(category, 500)
+    result = benchmark(
+        lambda: engine.query(
+            clients, facilities, algorithm=algorithm, cold=True
+        )
+    )
+    benchmark.extra_info["figure"] = "5"
+    benchmark.extra_info["category"] = category
+    benchmark.extra_info["objective"] = result.objective
+
+
+@pytest.mark.parametrize("clients", CLIENT_POINTS)
+@pytest.mark.parametrize("algorithm", ["efficient", "baseline"])
+def test_fig5_client_sweep(benchmark, clients, algorithm):
+    engine, client_list, facilities = _workload(QUERY_CATEGORIES[0],
+                                                clients)
+    result = benchmark(
+        lambda: engine.query(
+            client_list, facilities, algorithm=algorithm, cold=True
+        )
+    )
+    benchmark.extra_info["figure"] = "5"
+    benchmark.extra_info["clients"] = clients
+    benchmark.extra_info["objective"] = result.objective

@@ -1,0 +1,55 @@
+"""Figure 6: effect of the normal distribution's sigma.
+
+Real setting (MC) plus synthetic setting on all four venues at a
+benchmark-scale client count.  Full series:
+``python -m repro bench --experiment fig6``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.experiments import SIGMAS
+from repro.datasets import QUERY_CATEGORIES, VENUE_NAMES
+from repro.datasets import real_setting_facilities
+from repro.datasets.workloads import normal_clients
+
+from conftest import BENCH_CLIENTS, engine_for, synthetic_workload
+
+
+@pytest.mark.parametrize("sigma", SIGMAS)
+@pytest.mark.parametrize("algorithm", ["efficient", "baseline"])
+def test_fig6_real_sigma_sweep(benchmark, sigma, algorithm):
+    engine = engine_for("MC")
+    facilities = real_setting_facilities(
+        engine.venue, QUERY_CATEGORIES[0]
+    )
+    clients = normal_clients(
+        engine.venue, BENCH_CLIENTS, sigma, random.Random(int(sigma * 8))
+    )
+    result = benchmark(
+        lambda: engine.query(
+            clients, facilities, algorithm=algorithm, cold=True
+        )
+    )
+    benchmark.extra_info["figure"] = "6(i)"
+    benchmark.extra_info["sigma"] = sigma
+    benchmark.extra_info["objective"] = result.objective
+
+
+@pytest.mark.parametrize("venue", VENUE_NAMES)
+@pytest.mark.parametrize("algorithm", ["efficient", "baseline"])
+def test_fig6_synthetic_default_sigma(benchmark, venue, algorithm):
+    engine, clients, facilities = synthetic_workload(
+        venue, distribution="normal", sigma=0.5, seed=6
+    )
+    result = benchmark(
+        lambda: engine.query(
+            clients, facilities, algorithm=algorithm, cold=True
+        )
+    )
+    benchmark.extra_info["figure"] = "6(ii-v)"
+    benchmark.extra_info["venue"] = venue
+    benchmark.extra_info["objective"] = result.objective

@@ -1,0 +1,74 @@
+"""Figure 7: query processing time vs |C|, |Fe|, |Fn| (synthetic).
+
+One pytest-benchmark case per (venue, parameter point, algorithm) at
+benchmark scale.  Full series:
+``python -m repro bench --experiment fig7``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import FE_RANGES, FN_RANGES
+from repro.datasets import VENUE_NAMES
+
+from conftest import synthetic_workload
+
+CLIENT_POINTS = (100, 500, 1000)
+
+
+@pytest.mark.parametrize("venue", VENUE_NAMES)
+@pytest.mark.parametrize("clients", CLIENT_POINTS)
+@pytest.mark.parametrize("algorithm", ["efficient", "baseline"])
+def test_fig7a_client_size(benchmark, venue, clients, algorithm):
+    engine, client_list, facilities = synthetic_workload(
+        venue, clients=clients, seed=70
+    )
+    result = benchmark(
+        lambda: engine.query(
+            client_list, facilities, algorithm=algorithm, cold=True
+        )
+    )
+    benchmark.extra_info["figure"] = "7a"
+    benchmark.extra_info["venue"] = venue
+    benchmark.extra_info["objective"] = result.objective
+
+
+@pytest.mark.parametrize("venue", VENUE_NAMES)
+@pytest.mark.parametrize("point", ["low", "high"])
+@pytest.mark.parametrize("algorithm", ["efficient", "baseline"])
+def test_fig7b_existing_size(benchmark, venue, point, algorithm):
+    fe_range = FE_RANGES[venue]
+    fe = fe_range[0] if point == "low" else fe_range[-1]
+    engine, clients, facilities = synthetic_workload(
+        venue, fe=fe, seed=71
+    )
+    result = benchmark(
+        lambda: engine.query(
+            clients, facilities, algorithm=algorithm, cold=True
+        )
+    )
+    benchmark.extra_info["figure"] = "7b"
+    benchmark.extra_info["venue"] = venue
+    benchmark.extra_info["|Fe|"] = fe
+    benchmark.extra_info["objective"] = result.objective
+
+
+@pytest.mark.parametrize("venue", VENUE_NAMES)
+@pytest.mark.parametrize("point", ["low", "high"])
+@pytest.mark.parametrize("algorithm", ["efficient", "baseline"])
+def test_fig7c_candidate_size(benchmark, venue, point, algorithm):
+    fn_range = FN_RANGES[venue]
+    fn = fn_range[0] if point == "low" else fn_range[-1]
+    engine, clients, facilities = synthetic_workload(
+        venue, fn=fn, seed=72
+    )
+    result = benchmark(
+        lambda: engine.query(
+            clients, facilities, algorithm=algorithm, cold=True
+        )
+    )
+    benchmark.extra_info["figure"] = "7c"
+    benchmark.extra_info["venue"] = venue
+    benchmark.extra_info["|Fn|"] = fn
+    benchmark.extra_info["objective"] = result.objective

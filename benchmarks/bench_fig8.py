@@ -1,0 +1,64 @@
+"""Figure 8: peak memory vs |C|, |Fe|, |Fn| (synthetic).
+
+pytest-benchmark measures time; the peak traced memory of each
+configuration is measured once per case and attached as
+``extra_info["peak_memory_mb"]`` so the stored benchmark JSON carries
+the figure's actual metric.  Full series:
+``python -m repro bench --experiment fig8``.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.datasets import VENUE_NAMES
+
+from conftest import synthetic_workload
+
+CLIENT_POINTS = (100, 1000)
+
+
+def _measure_peak(engine, clients, facilities, algorithm):
+    tracemalloc.start()
+    try:
+        engine.query(clients, facilities, algorithm=algorithm, cold=True)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / (1024 * 1024)
+
+
+@pytest.mark.parametrize("venue", VENUE_NAMES)
+@pytest.mark.parametrize("clients", CLIENT_POINTS)
+@pytest.mark.parametrize("algorithm", ["efficient", "baseline"])
+def test_fig8a_memory_vs_clients(benchmark, venue, clients, algorithm):
+    engine, client_list, facilities = synthetic_workload(
+        venue, clients=clients, seed=80
+    )
+    peak_mb = _measure_peak(engine, client_list, facilities, algorithm)
+    benchmark(
+        lambda: engine.query(
+            client_list, facilities, algorithm=algorithm, cold=True
+        )
+    )
+    benchmark.extra_info["figure"] = "8a"
+    benchmark.extra_info["venue"] = venue
+    benchmark.extra_info["clients"] = clients
+    benchmark.extra_info["peak_memory_mb"] = round(peak_mb, 3)
+
+
+@pytest.mark.parametrize("venue", VENUE_NAMES)
+@pytest.mark.parametrize("algorithm", ["efficient", "baseline"])
+def test_fig8bc_memory_at_defaults(benchmark, venue, algorithm):
+    engine, clients, facilities = synthetic_workload(venue, seed=81)
+    peak_mb = _measure_peak(engine, clients, facilities, algorithm)
+    benchmark(
+        lambda: engine.query(
+            clients, facilities, algorithm=algorithm, cold=True
+        )
+    )
+    benchmark.extra_info["figure"] = "8b/8c"
+    benchmark.extra_info["venue"] = venue
+    benchmark.extra_info["peak_memory_mb"] = round(peak_mb, 3)

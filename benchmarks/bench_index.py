@@ -1,0 +1,64 @@
+"""Index microbenchmarks: VIP-tree construction and distance queries.
+
+Not a paper figure, but the substrate costs every figure builds on:
+offline index construction per venue and the hot distance primitives.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro import VIPTree
+from repro.datasets import venue_by_name
+from repro.datasets.workloads import uniform_clients
+from repro.index.distance import VIPDistanceEngine
+
+from conftest import engine_for
+
+
+@pytest.mark.parametrize("venue_name", ["MC", "CPH"])
+def test_index_construction(benchmark, venue_name):
+    venue = venue_by_name(venue_name)
+    tree = benchmark(lambda: VIPTree(venue))
+    benchmark.extra_info["nodes"] = tree.node_count
+    benchmark.extra_info["matrix_entries"] = tree.matrix_entry_count()
+
+
+@pytest.mark.parametrize("venue_name", ["MC", "MZB"])
+def test_door_to_door_lookups(benchmark, venue_name):
+    engine = engine_for(venue_name)
+    doors = sorted(engine.venue.door_ids())
+    pairs = list(itertools.islice(
+        itertools.combinations(doors[:: max(1, len(doors) // 40)], 2), 200
+    ))
+
+    def run():
+        total = 0.0
+        for a, b in pairs:
+            total += engine.tree.door_to_door(a, b)
+        return total
+
+    benchmark(run)
+    benchmark.extra_info["pairs"] = len(pairs)
+
+
+@pytest.mark.parametrize("memoize", [True, False],
+                         ids=["memoized", "cold"])
+def test_idist_throughput(benchmark, memoize):
+    engine = engine_for("MC")
+    clients = uniform_clients(engine.venue, 50, random.Random(3))
+    targets = sorted(engine.venue.partition_ids())[::10]
+
+    def run():
+        distances = VIPDistanceEngine(engine.tree, memoize=memoize)
+        total = 0.0
+        for client in clients:
+            for target in targets:
+                total += distances.idist(client, target)
+        return total
+
+    benchmark(run)
+    benchmark.extra_info["calls"] = len(clients) * len(targets)

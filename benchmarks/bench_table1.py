@@ -1,0 +1,29 @@
+"""Tables 1 and 2: regenerated, printed once, rendering benchmarked.
+
+These are static tables (taxonomy and parameter settings), covered so
+the benchmark suite spans every table *and* figure of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import format_table1, format_table2, table1_rows
+
+_printed = set()
+
+
+def _print_once(key: str, text: str) -> None:
+    if key not in _printed:
+        _printed.add(key)
+        print("\n" + text)
+
+
+def test_table1_render(benchmark):
+    text = benchmark(format_table1)
+    _print_once("table1", text)
+    assert len(table1_rows()) == 13
+
+
+def test_table2_render(benchmark):
+    text = benchmark(format_table2)
+    _print_once("table2", text)
+    assert "MZB" in text

@@ -1,0 +1,65 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_*.py`` file regenerates one table/figure of the paper at
+benchmark scale (client counts scaled down from Table 2 so a full
+``pytest benchmarks/ --benchmark-only`` run stays laptop-friendly).
+The full paper-scale series come from the harness:
+``python -m repro bench --scale paper``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IFLSEngine
+from repro.bench.experiments import default_fe, default_fn
+from repro.datasets import venue_by_name
+from repro.datasets.workloads import (
+    normal_clients,
+    random_facility_sets,
+    uniform_clients,
+)
+
+#: Benchmark-scale client count standing in for the paper's 10k default.
+BENCH_CLIENTS = 500
+
+
+_ENGINES = {}
+
+
+def engine_for(venue_name: str) -> IFLSEngine:
+    if venue_name not in _ENGINES:
+        _ENGINES[venue_name] = IFLSEngine(venue_by_name(venue_name))
+    return _ENGINES[venue_name]
+
+
+@pytest.fixture(scope="session")
+def engines():
+    return engine_for
+
+
+def synthetic_workload(
+    venue_name: str,
+    clients: int = BENCH_CLIENTS,
+    fe: int = 0,
+    fn: int = 0,
+    seed: int = 0,
+    distribution: str = "uniform",
+    sigma: float = 0.5,
+):
+    """Benchmark workload bound to a cached venue engine."""
+    engine = engine_for(venue_name)
+    rng = random.Random(seed)
+    facilities = random_facility_sets(
+        engine.venue,
+        fe or default_fe(venue_name),
+        fn or default_fn(venue_name),
+        rng,
+    )
+    if distribution == "uniform":
+        cs = uniform_clients(engine.venue, clients, rng)
+    else:
+        cs = normal_clients(engine.venue, clients, sigma, rng)
+    return engine, cs, facilities

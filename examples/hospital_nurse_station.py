@@ -1,0 +1,110 @@
+"""Hospital scenario: place a new nurse station (paper Section 1).
+
+    "a hospital may want to identify a location to set up a new nurse
+    station from a set of candidate locations such that it minimizes
+    the maximum indoor distance between the patient beds and their
+    nearest nurse stations"
+
+A two-storey hospital is built by hand: wards along two corridors per
+floor, an existing nurse station on each floor, and a shortlist of
+empty rooms as candidates.  Each patient bed is a client.  The example
+reports the worst bed-to-station distance before and after placing the
+new station.
+
+Run:  python examples/hospital_nurse_station.py
+"""
+
+from repro import (
+    Client,
+    FacilitySets,
+    IFLSEngine,
+    Point,
+    Rect,
+    VenueBuilder,
+)
+
+WARD_BEDS = 4
+
+
+def build_hospital():
+    """Two floors, 8 wards + 4 utility rooms per floor, a stairwell."""
+    builder = VenueBuilder("st-elsewhere")
+    wards, utility, stations = [], [], []
+    corridors = []
+    for level in range(2):
+        corridor = builder.add_corridor(
+            Rect(0, 8, 96, 12, level=level), name=f"corridor-{level}"
+        )
+        corridors.append(corridor)
+        for i in range(8):  # wards below the corridor
+            ward = builder.add_room(
+                Rect(i * 12, 0, (i + 1) * 12, 8, level=level),
+                name=f"ward-{level}-{i}",
+            )
+            builder.add_door(Point(i * 12 + 6, 8, level), ward, corridor)
+            wards.append(ward)
+        for i in range(6):  # utility rooms above the corridor
+            room = builder.add_room(
+                Rect(i * 16, 12, (i + 1) * 16, 18, level=level),
+                name=f"room-{level}-{i}",
+            )
+            builder.add_door(Point(i * 16 + 8, 12, level), room, corridor)
+            if i == 2:
+                stations.append(room)  # existing nurse station
+            else:
+                utility.append(room)
+    builder.connect_levels(
+        corridors[0], corridors[1], at=Point(94, 10, 0), stair_length=6.0
+    )
+    return builder.build(), wards, utility, stations
+
+
+def place_beds(venue, wards):
+    """Four beds along the walls of every ward."""
+    beds = []
+    for ward in wards:
+        rect = venue.partition(ward).rect
+        for b in range(WARD_BEDS):
+            x = rect.min_x + (b + 1) * rect.width / (WARD_BEDS + 1)
+            beds.append(
+                Client(len(beds), Point(x, rect.min_y + 1.5,
+                                        rect.level), ward)
+            )
+    return beds
+
+
+def main() -> None:
+    venue, wards, utility, stations = build_hospital()
+    beds = place_beds(venue, wards)
+    engine = IFLSEngine(venue)
+    facilities = FacilitySets(frozenset(stations), frozenset(utility))
+
+    print(f"Hospital: {venue}")
+    print(f"{len(beds)} patient beds, {len(stations)} existing nurse "
+          f"stations, {len(utility)} candidate rooms")
+
+    # Worst-case distance with the existing stations only.
+    worst_before = 0.0
+    for bed in beds:
+        nearest = min(
+            engine.distances.idist(bed, s) for s in stations
+        )
+        worst_before = max(worst_before, nearest)
+    print(f"\nWorst bed -> station distance today: {worst_before:.1f} m")
+
+    result = engine.query(beds, facilities)
+    name = venue.partition(result.answer).name
+    print(f"New station location: {name} (partition {result.answer})")
+    print(f"Worst distance after placement:      "
+          f"{result.objective:.1f} m")
+    print(f"Improvement: "
+          f"{(1 - result.objective / worst_before) * 100:.0f}%")
+    print(f"\nQuery stats: {result.stats.clients_pruned}/"
+          f"{len(beds)} beds pruned early, "
+          f"{result.stats.facilities_retrieved} facility retrievals, "
+          f"{result.stats.distance.idist_calls} indoor distance "
+          f"computations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""University scenario: place a coffee machine in the Menzies Building.
+
+    "a university authority may want to find a location to place a new
+    facility (e.g., printer, coffee or vending machine) that minimizes
+    the maximum indoor distance between the students/staffs and their
+    nearest facility"  (paper Section 1)
+
+Students cluster around the building's central levels (normal
+distribution, sigma = 0.5); a handful of coffee machines already exist
+and a shortlist of rooms is available.  The example answers the query
+under all three objectives (MinMax, and the Section-7 MinDist and
+MaxSum extensions) and contrasts the chosen locations.
+
+Run:  python examples/university_coffee.py
+"""
+
+import random
+
+from repro import IFLSEngine
+from repro.datasets import menzies_building
+from repro.datasets.workloads import normal_clients, random_facility_sets
+
+STUDENTS = 2_000
+EXISTING_MACHINES = 12
+CANDIDATE_ROOMS = 40
+
+
+def main() -> None:
+    print("Building the Menzies Building (16 levels, 1344 partitions)…")
+    venue = menzies_building()
+    engine = IFLSEngine(venue)
+
+    rng = random.Random(2026)
+    facilities = random_facility_sets(
+        venue, EXISTING_MACHINES, CANDIDATE_ROOMS, rng
+    )
+    students = normal_clients(venue, STUDENTS, 0.5, rng)
+    levels = sorted({s.location.level for s in students})
+    print(f"{STUDENTS} students across levels "
+          f"{levels[0]}..{levels[-1]}, "
+          f"{EXISTING_MACHINES} existing machines, "
+          f"{CANDIDATE_ROOMS} candidate rooms\n")
+
+    header = (
+        f"{'objective':<10} {'answer':>7} {'level':>6} "
+        f"{'value':>12} {'seconds':>9} {'pruned':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for objective in ("minmax", "mindist", "maxsum"):
+        result = engine.query(
+            students, facilities, objective=objective, cold=True
+        )
+        level = venue.partition(result.answer).level
+        if objective == "minmax":
+            value = f"{result.objective:9.1f} m"
+        elif objective == "mindist":
+            value = f"{result.objective / STUDENTS:7.1f} m/st"
+        else:
+            value = f"{int(result.objective):6d} won"
+        print(
+            f"{objective:<10} {result.answer:>7} {level:>6} "
+            f"{value:>12} {result.stats.elapsed_seconds:>8.2f}s "
+            f"{result.stats.clients_pruned:>7}"
+        )
+
+    print(
+        "\nMinMax protects the farthest student; MinDist minimises the "
+        "average walk; MaxSum grabs the most students from the "
+        "existing machines. The three objectives may legitimately pick "
+        "different rooms."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Venue toolbox tour: analysis, rendering, persistence, routing.
+
+Shows the supporting library around the IFLS queries on the Copenhagen
+Airport venue: venue statistics, an ASCII floor plan with the query
+outcome marked, JSON round-tripping, and the walking route that
+realises the objective value.
+
+Run:  python examples/venue_toolbox.py
+"""
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro import IFLSEngine, PathService
+from repro.datasets import copenhagen_airport
+from repro.datasets.workloads import workload
+from repro.indoor.analysis import analyse_venue
+from repro.indoor.io import load_venue, save_venue
+from repro.indoor.render import render_result
+
+
+def main() -> None:
+    venue = copenhagen_airport()
+    print(analyse_venue(venue).describe())
+    print()
+
+    clients, facilities = workload(venue, 120, 20, 35, seed=5)
+    engine = IFLSEngine(venue)
+    result = engine.query(clients, facilities)
+    print(f"IFLS answer: partition {result.answer} "
+          f"(objective {result.objective:.1f} m)\n")
+
+    print(render_result(
+        venue,
+        clients,
+        facilities.existing,
+        facilities.candidates,
+        result.answer,
+        width=96,
+        height=18,
+    ))
+    print("legend: E existing, N candidate, A answer, D door, . client\n")
+
+    # Persist and reload; answers survive the round trip.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "cph.json"
+        save_venue(venue, path)
+        clone = load_venue(path)
+        check = IFLSEngine(clone).query(clients, facilities)
+        assert check.answer == result.answer
+        print(f"venue JSON round-trip: {path.stat().st_size} bytes, "
+              f"answer unchanged")
+
+    # Route of the worst-off client to its nearest facility.
+    paths = PathService(venue, graph=engine.tree.graph)
+    placed = sorted(facilities.existing | {result.answer})
+    worst = max(
+        clients,
+        key=lambda c: min(
+            engine.distances.idist(c, f) for f in placed
+        ),
+    )
+    _dist, destination = min(
+        (engine.distances.idist(worst, f), f) for f in placed
+    )
+    route = paths.route_to_partition(worst, destination)
+    print(f"\nworst-off client c{worst.client_id} walks:")
+    print(paths.describe(route))
+
+
+if __name__ == "__main__":
+    main()

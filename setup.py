@@ -1,0 +1,8 @@
+"""Shim for environments without the ``wheel`` package (offline installs).
+
+``pip install -e .`` uses pyproject.toml; this file additionally allows
+``python setup.py develop`` where PEP 517 editable builds are unavailable.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,106 @@
+"""repro — Indoor Facility Location Selection (IFLS) queries.
+
+A from-scratch reproduction of "An Efficient Approach for Indoor
+Facility Location Selection" (EDBT 2023): the indoor space model, the
+VIP-tree index, the efficient IFLS algorithm, the modified-MinMax
+baseline, the MinDist/MaxSum extensions, venue/workload generators for
+the paper's four venues, and a benchmark harness regenerating every
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import IFLSEngine, FacilitySets
+    from repro.datasets import figure1_venue
+
+    venue, existing, candidates, clients = figure1_venue()
+    engine = IFLSEngine(venue)
+    result = engine.query(clients, FacilitySets(existing, candidates))
+    print(result.answer, result.objective)
+"""
+
+from .core import (
+    BASELINE,
+    BOTTOM_UP,
+    BRUTE_FORCE,
+    EFFICIENT,
+    MAXSUM,
+    MINDIST,
+    MINMAX,
+    TOP_DOWN,
+    DynamicIFLSSession,
+    EfficientOptions,
+    MovingClientSimulator,
+    IFLSEngine,
+    RankedCandidate,
+    top_k_ifls,
+    IFLSProblem,
+    IFLSResult,
+    QueryStats,
+    ResultStatus,
+)
+from .errors import (
+    DisconnectedVenueError,
+    QueryError,
+    ReproError,
+    UnreachableFacilityError,
+    VenueError,
+)
+from .indoor import (
+    Client,
+    DistanceService,
+    Door,
+    DoorGraph,
+    FacilitySets,
+    IndoorVenue,
+    Partition,
+    PartitionKind,
+    Point,
+    Rect,
+    VenueBuilder,
+)
+from .index import FacilitySearch, PathService, Route, VIPDistanceEngine, VIPTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASELINE",
+    "BOTTOM_UP",
+    "BRUTE_FORCE",
+    "Client",
+    "DisconnectedVenueError",
+    "DistanceService",
+    "DynamicIFLSSession",
+    "Door",
+    "DoorGraph",
+    "EFFICIENT",
+    "EfficientOptions",
+    "FacilitySearch",
+    "FacilitySets",
+    "IFLSEngine",
+    "IFLSProblem",
+    "IFLSResult",
+    "MovingClientSimulator",
+    "IndoorVenue",
+    "MAXSUM",
+    "MINDIST",
+    "MINMAX",
+    "PathService",
+    "Partition",
+    "RankedCandidate",
+    "Route",
+    "top_k_ifls",
+    "PartitionKind",
+    "Point",
+    "QueryError",
+    "QueryStats",
+    "Rect",
+    "ReproError",
+    "ResultStatus",
+    "TOP_DOWN",
+    "UnreachableFacilityError",
+    "VenueBuilder",
+    "VenueError",
+    "VIPDistanceEngine",
+    "VIPTree",
+    "__version__",
+]

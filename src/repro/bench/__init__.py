@@ -1,0 +1,73 @@
+"""Benchmark harness regenerating the paper's evaluation."""
+
+from .experiments import (
+    ABLATION_VARIANTS,
+    CLIENT_SIZES,
+    DEFAULT_CLIENTS,
+    DEFAULT_SIGMA,
+    FE_RANGES,
+    FN_RANGES,
+    SCALES,
+    SIGMAS,
+    EngineCache,
+    Row,
+    Scale,
+    ablations,
+    current_scale,
+    default_fe,
+    default_fn,
+    extensions,
+    fig5,
+    fig6,
+    fig78,
+)
+from .counters import CounterRow, format_counters, measure_counters
+from .measure import Measurement, compare, measure_query, timed
+from .plots import ascii_chart, plot_rows
+from .reporting import format_series, read_csv, summarize_speedups, write_csv
+from .runner import ALL_EXPERIMENTS, run_all, run_experiment
+from .tables import format_table1, format_table2, table1_rows
+from .validate import ValidationReport, validate_reproduction
+
+__all__ = [
+    "ABLATION_VARIANTS",
+    "ALL_EXPERIMENTS",
+    "CLIENT_SIZES",
+    "DEFAULT_CLIENTS",
+    "DEFAULT_SIGMA",
+    "EngineCache",
+    "FE_RANGES",
+    "FN_RANGES",
+    "Measurement",
+    "Row",
+    "SCALES",
+    "SIGMAS",
+    "Scale",
+    "ablations",
+    "compare",
+    "CounterRow",
+    "format_counters",
+    "measure_counters",
+    "current_scale",
+    "default_fe",
+    "default_fn",
+    "extensions",
+    "fig5",
+    "fig6",
+    "fig78",
+    "ascii_chart",
+    "format_series",
+    "plot_rows",
+    "read_csv",
+    "format_table1",
+    "format_table2",
+    "measure_query",
+    "run_all",
+    "run_experiment",
+    "summarize_speedups",
+    "table1_rows",
+    "timed",
+    "ValidationReport",
+    "validate_reproduction",
+    "write_csv",
+]

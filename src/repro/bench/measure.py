@@ -1,0 +1,118 @@
+"""Measurement primitives for the benchmark harness.
+
+The paper's metrics (Section 6.1.3): mean *query processing time* and
+*memory cost* over 10 IFLS queries per configuration.  Time is wall
+clock around the algorithm only (index construction is offline); memory
+is the peak traced allocation during the query (``tracemalloc``),
+covering the algorithm's working state and the per-query distance
+caches, which is what the paper's per-query memory cost captures.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core.queries import IFLSEngine
+from ..core.result import IFLSResult
+from ..indoor.entities import Client, FacilitySets
+
+
+@dataclass
+class Measurement:
+    """Aggregated runs of one (configuration, algorithm) pair."""
+
+    label: str
+    elapsed_seconds: List[float] = field(default_factory=list)
+    peak_memory_bytes: List[int] = field(default_factory=list)
+    objective: Optional[float] = None
+    answer: Optional[int] = None
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean wall-clock time over the repetitions."""
+        return statistics.fmean(self.elapsed_seconds)
+
+    @property
+    def mean_memory_mb(self) -> float:
+        """Mean peak traced memory (MB) over the repetitions."""
+        return statistics.fmean(self.peak_memory_bytes) / (1024 * 1024)
+
+    def add(self, result: IFLSResult, elapsed: float, peak: int) -> None:
+        """Record one repetition."""
+        self.elapsed_seconds.append(elapsed)
+        self.peak_memory_bytes.append(peak)
+        self.objective = result.objective
+        self.answer = result.answer
+
+
+def measure_query(
+    engine: IFLSEngine,
+    clients: Sequence[Client],
+    facilities: FacilitySets,
+    algorithm: str,
+    objective: str = "minmax",
+    repeats: int = 3,
+    measure_memory: bool = True,
+) -> Measurement:
+    """Run one query configuration ``repeats`` times, cold each time.
+
+    Every repetition uses a fresh distance engine (``cold=True``) so
+    repeated runs measure the same work instead of cache hits.
+    """
+    out = Measurement(label=algorithm)
+    for _ in range(repeats):
+        if measure_memory:
+            tracemalloc.start()
+        started = time.perf_counter()
+        try:
+            result = engine.query(
+                clients,
+                facilities,
+                objective=objective,
+                algorithm=algorithm,
+                cold=True,
+            )
+        finally:
+            if measure_memory:
+                _, peak = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+            else:
+                peak = 0
+        elapsed = time.perf_counter() - started
+        out.add(result, elapsed, peak)
+    return out
+
+
+def compare(
+    engine: IFLSEngine,
+    clients: Sequence[Client],
+    facilities: FacilitySets,
+    algorithms: Sequence[str] = ("efficient", "baseline"),
+    objective: str = "minmax",
+    repeats: int = 3,
+    measure_memory: bool = True,
+) -> List[Measurement]:
+    """Measure several algorithms on the same inputs."""
+    return [
+        measure_query(
+            engine,
+            clients,
+            facilities,
+            algorithm,
+            objective=objective,
+            repeats=repeats,
+            measure_memory=measure_memory,
+        )
+        for algorithm in algorithms
+    ]
+
+
+def timed(fn: Callable[[], object]) -> float:
+    """Wall-clock a callable once (used by setup-cost reporting)."""
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started

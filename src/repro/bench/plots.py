@@ -1,0 +1,144 @@
+"""ASCII charts of benchmark series.
+
+The paper's figures are log-scale line plots of time/memory against a
+workload parameter.  This module renders the harness's measured series
+in the same shape as terminal charts, so a reproduction run ends with
+figures one can eyeball against the paper without any plotting stack.
+
+Series markers: ``*`` efficient, ``o`` baseline, ``#`` overlapping.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .experiments import Row
+from .reporting import group_rows
+
+MARKERS = {"efficient": "*", "baseline": "o"}
+FALLBACK_MARKERS = "x+%@"
+
+
+def _format_x(value: float) -> str:
+    if value >= 1000:
+        return f"{value / 1000:g}k"
+    return f"{value:g}"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = True,
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as a fixed-width ASCII chart.
+
+    X positions are equally spaced in input order (the paper's figures
+    use categorical ticks); the Y axis is log10 by default, matching
+    the paper's presentation.
+    """
+    points = [p for values in series.values() for p in values]
+    if not points:
+        return f"{title}\n(no data)"
+    xs: List[float] = sorted({x for x, _y in points})
+    ys = [y for _x, y in points if y > 0 or not log_y]
+    if not ys:
+        ys = [1.0]
+
+    def transform(y: float) -> float:
+        if log_y:
+            return math.log10(max(y, 1e-12))
+        return y
+
+    lo = min(transform(y) for y in ys)
+    hi = max(transform(y) for y in ys)
+    if hi - lo < 1e-9:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    x_positions = {
+        x: int(round(i * (width - 1) / max(len(xs) - 1, 1)))
+        for i, x in enumerate(xs)
+    }
+
+    def y_row(y: float) -> int:
+        frac = (transform(y) - lo) / (hi - lo)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    fallback = iter(FALLBACK_MARKERS)
+    for name, values in series.items():
+        marker = MARKERS.get(name) or next(fallback)
+        for x, y in values:
+            col = x_positions[x]
+            row = y_row(y)
+            current = grid[row][col]
+            grid[row][col] = "#" if current not in (" ", marker) else marker
+
+    # Y-axis labels at top, middle, bottom (in original units).
+    def untransform(v: float) -> float:
+        return 10 ** v if log_y else v
+
+    labels = {
+        0: untransform(hi),
+        height // 2: untransform((hi + lo) / 2),
+        height - 1: untransform(lo),
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        label = labels.get(i)
+        prefix = (
+            f"{label:>9.3g} |" if label is not None else f"{'':>9} |"
+        )
+        lines.append(prefix + "".join(row))
+    lines.append(f"{'':>9} +" + "-" * width)
+    tick_line = [" "] * (width + 11)
+    for x, col in x_positions.items():
+        text = _format_x(x)
+        start = min(col + 11, width + 11 - len(text))
+        for offset, char in enumerate(text):
+            tick_line[start + offset] = char
+    lines.append("".join(tick_line).rstrip())
+    legend = "  ".join(
+        f"{MARKERS.get(name, '?')} {name}" for name in series
+    )
+    lines.append(f"{'':>11}{legend}"
+                 + (f"   [{y_label}, log scale]" if log_y else ""))
+    return "\n".join(lines)
+
+
+def plot_rows(
+    rows: Iterable[Row],
+    metric: str = "time",
+    width: int = 64,
+    height: int = 14,
+) -> str:
+    """One ASCII chart per (venue, setting, parameter) group."""
+    if metric not in ("time", "memory"):
+        raise ValueError(f"unknown metric {metric!r}")
+    grouped = group_rows(rows)
+    panels: Dict[Tuple[str, str, str], Dict[str, List[Tuple[float, float]]]]
+    panels = {}
+    for key, by_algorithm in grouped.items():
+        _experiment, venue, setting, parameter, value = key
+        panel = panels.setdefault((venue, setting, parameter), {})
+        for algorithm, row in by_algorithm.items():
+            y = row.time_seconds if metric == "time" else row.memory_mb
+            panel.setdefault(algorithm, []).append((value, y))
+    charts = []
+    unit = "seconds" if metric == "time" else "MB"
+    for (venue, setting, parameter), series in panels.items():
+        charts.append(
+            ascii_chart(
+                series,
+                title=f"{venue} ({setting}) — {metric} vs {parameter}",
+                width=width,
+                height=height,
+                y_label=unit,
+            )
+        )
+    return "\n\n".join(charts)

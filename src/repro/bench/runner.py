@@ -1,0 +1,131 @@
+"""Harness entry point: run paper experiments and print their series.
+
+Usage (also exposed as ``ifls bench`` / ``python -m repro bench``)::
+
+    python -m repro bench --experiment fig7 --scale small
+    python -m repro bench --experiment all --out bench_results/
+
+Each experiment prints the same series the paper's figure reports (one
+line per parameter value, efficient vs baseline, with speedups) and can
+persist CSV for plotting.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .experiments import (
+    EngineCache,
+    Row,
+    Scale,
+    ablations,
+    current_scale,
+    extensions,
+    fig5,
+    fig6,
+    fig78,
+)
+from .counters import format_counters, measure_counters
+from .plots import plot_rows
+from .reporting import format_series, summarize_speedups, write_csv
+from .tables import format_table1, format_table2
+
+_FIGURES = {
+    "fig5": (fig5, "Figure 5: effect of |C| (real setting, MC)"),
+    "fig6": (fig6, "Figure 6: effect of sigma (real + synthetic)"),
+    "fig7": (fig78, "Figure 7: |C|, |Fe|, |Fn| vs time (synthetic)"),
+    "fig8": (fig78, "Figure 8: |C|, |Fe|, |Fn| vs memory (synthetic)"),
+    "ablation": (ablations, "Ablations: efficient-approach variants"),
+    "extensions": (extensions, "Extensions: MinDist / MaxSum (Section 7)"),
+}
+
+ALL_EXPERIMENTS = ("table1", "table2", "fig5", "fig6", "fig7", "fig8",
+                   "ablation", "extensions", "counters")
+
+
+def run_experiment(
+    name: str,
+    scale: Optional[Scale] = None,
+    cache: Optional[EngineCache] = None,
+    out_dir: Optional[Path] = None,
+    echo=print,
+) -> List[Row]:
+    """Run one experiment, print its series, optionally persist CSV."""
+    scale = scale or current_scale()
+    cache = cache or EngineCache()
+    if name == "table1":
+        echo(format_table1())
+        return []
+    if name == "table2":
+        echo(format_table2())
+        return []
+    if name == "counters":
+        echo(format_counters(measure_counters(scale=scale, cache=cache)))
+        return []
+    try:
+        fn, title = _FIGURES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {ALL_EXPERIMENTS}"
+        ) from None
+    rows = fn(scale=scale, cache=cache)
+    metric = "memory" if name == "fig8" else "time"
+    echo(format_series(rows, metric=metric,
+                       title=f"{title} [scale={scale.name}]"))
+    if name.startswith("fig"):
+        echo("")
+        echo(plot_rows(rows, metric=metric))
+    if name in ("fig5", "fig6"):
+        echo("")
+        echo(format_series(rows, metric="memory",
+                           title=f"{title} — memory view"))
+    speedups = summarize_speedups(rows)
+    if speedups:
+        echo("")
+        echo("Speedup summary (efficient over baseline, time):")
+        for label, (mean, peak) in sorted(speedups.items()):
+            echo(f"  {label:<40} mean {mean:6.2f}x   max {peak:6.2f}x")
+    if out_dir is not None:
+        path = Path(out_dir) / f"{name}.csv"
+        write_csv(rows, path)
+        echo(f"\nwrote {path}")
+    return rows
+
+
+def run_all(
+    scale: Optional[Scale] = None,
+    out_dir: Optional[Path] = None,
+    experiments: Sequence[str] = ALL_EXPERIMENTS,
+    echo=print,
+) -> Dict[str, List[Row]]:
+    """Run every experiment, reusing venue engines across them.
+
+    Figures 7 and 8 are two views (time / memory) of the *same* runs,
+    so when both are requested the measured rows are shared instead of
+    re-running the sweeps.
+    """
+    scale = scale or current_scale()
+    cache = EngineCache()
+    results: Dict[str, List[Row]] = {}
+    for name in experiments:
+        echo(f"\n{'#' * 70}\n# {name}\n{'#' * 70}")
+        if name == "fig8" and "fig7" in results:
+            rows = results["fig7"]
+            echo(format_series(
+                rows, metric="memory",
+                title=f"Figure 8 (memory view of the Figure-7 runs) "
+                      f"[scale={scale.name}]",
+            ))
+            echo("")
+            echo(plot_rows(rows, metric="memory"))
+            if out_dir is not None:
+                path = Path(out_dir) / "fig8.csv"
+                write_csv(rows, path)
+                echo(f"\nwrote {path}")
+            results[name] = rows
+            continue
+        results[name] = run_experiment(
+            name, scale=scale, cache=cache, out_dir=out_dir, echo=echo
+        )
+    return results

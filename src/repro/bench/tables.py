@@ -1,0 +1,101 @@
+"""Static tables of the paper.
+
+* **Table 1** — the related-work taxonomy of non-indoor location
+  selection queries.  It is not an experiment; it is regenerated here so
+  the harness covers every table of the paper.
+* **Table 2** — the parameter settings, regenerated from the constants
+  in :mod:`repro.bench.experiments` so the printed table always matches
+  what the harness actually runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..datasets.venues import CH, CPH, MC, MZB
+from .experiments import CLIENT_SIZES, FE_RANGES, FN_RANGES, SIGMAS
+
+
+@dataclass(frozen=True)
+class TaxonomyEntry:
+    """One row of Table 1."""
+
+    reference: str
+    objectives: Tuple[str, ...]
+    solution_space: str  # D(iscrete) / C(ontinuous)
+    metric: str  # M(anhattan) / E(uclidean) / RN (road network)
+    answers: str  # "1" or "k"
+
+
+TABLE1: Tuple[TaxonomyEntry, ...] = (
+    TaxonomyEntry("[2] Chen et al. 2014", ("MinDist", "MinMax"), "C", "RN", "k"),
+    TaxonomyEntry("[22] Xiao et al. 2011", ("MaxInf", "MinDist", "MinMax"), "C", "RN", "1"),
+    TaxonomyEntry("[4] Cui et al. 2018", ("MinDist",), "D", "RN", "1"),
+    TaxonomyEntry("[7] Gao et al. 2015", ("MaxInf",), "D", "E", "k"),
+    TaxonomyEntry("[21] Xia et al. 2005", ("MaxInf",), "D", "E", "k"),
+    TaxonomyEntry("[5] Du et al. 2005", ("MaxInf",), "C", "M", "1"),
+    TaxonomyEntry("[24] Xu et al. 2017", ("MinDist",), "C", "RN", "k"),
+    TaxonomyEntry("[26] Zhang et al. 2006", ("MinDist",), "C", "M", "1"),
+    TaxonomyEntry("[12] Liu et al. 2021", ("MaxSum",), "C", "E", "k"),
+    TaxonomyEntry("[14] Qi et al. 2012", ("MinDist",), "C", "E", "1"),
+    TaxonomyEntry("[8] Gao et al. 2009", ("MinDist",), "D", "E", "k"),
+    TaxonomyEntry("[9] Huang et al. 2011", ("MaxInf",), "D", "E", "k"),
+    TaxonomyEntry("[3] Chung et al. 2018", ("MinDist",), "D", "E", "k"),
+)
+
+_OBJECTIVES = ("MaxInf", "MinDist", "MinMax", "MaxSum")
+
+
+def format_table1() -> str:
+    """Render Table 1 as fixed-width text."""
+    lines = [
+        "Table 1: Existing Works in Non-Indoor Setting",
+        "(D: Discrete, C: Continuous; M: Manhattan, E: Euclidean, "
+        "RN: Road Network)",
+        "",
+    ]
+    header = (
+        f"{'Reference':<24}"
+        + "".join(f"{o:>9}" for o in _OBJECTIVES)
+        + f"{'Space':>7}{'Metric':>8}{'|A|':>5}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for entry in TABLE1:
+        marks = "".join(
+            f"{'x' if o in entry.objectives else '':>9}"
+            for o in _OBJECTIVES
+        )
+        lines.append(
+            f"{entry.reference:<24}{marks}"
+            f"{entry.solution_space:>7}{entry.metric:>8}{entry.answers:>5}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2() -> str:
+    """Render Table 2 (parameter settings) from the harness constants."""
+    lines = [
+        "Table 2: Parameter settings for the IFLS query",
+        "",
+        f"{'Venue':<6}{'|Fe| range':>22}{'|Fn| range':>26}",
+    ]
+    for venue in (MC, CH, CPH, MZB):
+        fe = ", ".join(str(v) for v in FE_RANGES[venue])
+        fn = ", ".join(str(v) for v in FN_RANGES[venue])
+        lines.append(f"{venue:<6}{fe:>22}{fn:>26}")
+    clients = ", ".join(f"{c // 1000}k" for c in CLIENT_SIZES)
+    sigmas = ", ".join(f"{s:g}" for s in SIGMAS)
+    lines.append(f"Client size (C): {clients}")
+    lines.append(f"Normal distribution sigma: {sigmas} (mu = 0)")
+    lines.append(
+        "Real setting (MC): |Fe| in 101, 54, 39, 19, 14 with "
+        "|Fn| = 291 - |Fe|"
+    )
+    return "\n".join(lines)
+
+
+def table1_rows() -> List[TaxonomyEntry]:
+    """Programmatic access for tests."""
+    return list(TABLE1)

@@ -1,0 +1,120 @@
+"""Reproduction sanity gate.
+
+``ifls validate`` runs a quick end-to-end agreement check on every
+paper venue: venue statistics against the published numbers, and all
+three MinMax algorithms (plus the MinDist/MaxSum extensions against
+brute force) on a small workload.  Intended as the first thing to run
+after checking out the repository or touching an algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.queries import IFLSEngine
+from ..datasets.venues import EXPECTED_STATS, VENUE_NAMES, venue_by_name
+from ..datasets.workloads import workload
+from .experiments import default_fe, default_fn
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one validation run."""
+
+    checks: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no check failed."""
+        return not self.failures
+
+    def record(self, name: str, passed: bool, detail: str = "") -> None:
+        """Append one check outcome."""
+        line = f"{'PASS' if passed else 'FAIL'}  {name}"
+        if detail:
+            line += f"  ({detail})"
+        self.checks.append(line)
+        if not passed:
+            self.failures.append(line)
+
+    def describe(self) -> str:
+        """Human-readable check list plus verdict."""
+        lines = list(self.checks)
+        lines.append("")
+        lines.append(
+            "all checks passed"
+            if self.ok
+            else f"{len(self.failures)} check(s) FAILED"
+        )
+        return "\n".join(lines)
+
+
+def validate_reproduction(
+    client_count: int = 120, seed: int = 13
+) -> ValidationReport:
+    """Run the agreement checks; never raises, reports instead."""
+    report = ValidationReport()
+    for name in VENUE_NAMES:
+        venue = venue_by_name(name)
+        expected = EXPECTED_STATS[name]
+        got = (venue.partition_count, venue.door_count)
+        report.record(
+            f"{name}: venue statistics {got}",
+            got == expected,
+            f"expected {expected}",
+        )
+        engine = IFLSEngine(venue)
+        clients, facilities = workload(
+            venue,
+            client_count,
+            default_fe(name),
+            default_fn(name),
+            seed=seed,
+        )
+        results = {
+            algorithm: engine.query(
+                clients, facilities, algorithm=algorithm, cold=True
+            )
+            for algorithm in ("bruteforce", "baseline", "efficient")
+        }
+        reference = results["bruteforce"]
+        for algorithm in ("baseline", "efficient"):
+            result = results[algorithm]
+            agrees = (
+                result.status == reference.status
+                and math.isclose(
+                    result.objective,
+                    reference.objective,
+                    rel_tol=1e-9,
+                    abs_tol=1e-9,
+                )
+            )
+            report.record(
+                f"{name}: {algorithm} MinMax agrees with brute force",
+                agrees,
+                f"{result.objective:.4f} vs {reference.objective:.4f}",
+            )
+        for objective in ("mindist", "maxsum"):
+            fast = engine.query(
+                clients, facilities, objective=objective, cold=True
+            )
+            slow = engine.query(
+                clients,
+                facilities,
+                objective=objective,
+                algorithm="bruteforce",
+                cold=True,
+            )
+            report.record(
+                f"{name}: efficient {objective} agrees with brute force",
+                fast.status == slow.status
+                and math.isclose(
+                    fast.objective, slow.objective,
+                    rel_tol=1e-9, abs_tol=1e-9,
+                ),
+                f"{fast.objective:.4f} vs {slow.objective:.4f}",
+            )
+    return report

@@ -1,0 +1,356 @@
+"""Command-line interface.
+
+Installed as ``ifls`` (see pyproject) and runnable as
+``python -m repro``.  Subcommands:
+
+* ``ifls venues`` — list the built-in venues with their statistics;
+* ``ifls info VENUE`` — venue + VIP-tree details;
+* ``ifls query VENUE`` — run one synthetic IFLS query and print the
+  answer, objective, and execution statistics;
+* ``ifls bench`` — regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .bench.runner import ALL_EXPERIMENTS, run_all, run_experiment
+from .bench.experiments import SCALES, current_scale, default_fe, default_fn
+from .core.queries import IFLSEngine
+from .datasets.venues import EXPECTED_STATS, VENUE_NAMES, venue_by_name
+from .datasets.workloads import workload
+
+
+def _cmd_venues(_args: argparse.Namespace) -> int:
+    print(f"{'venue':<6}{'partitions':>12}{'doors':>8}")
+    for name in VENUE_NAMES:
+        partitions, doors = EXPECTED_STATS[name]
+        print(f"{name:<6}{partitions:>12}{doors:>8}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .indoor.analysis import analyse_venue
+
+    venue = venue_by_name(args.venue)
+    started = time.perf_counter()
+    engine = IFLSEngine(venue)
+    built = time.perf_counter() - started
+    tree = engine.tree
+    print(venue)
+    print(analyse_venue(venue).describe())
+    print(f"VIP-tree: {tree.node_count} nodes, {tree.leaf_count} leaves, "
+          f"height {tree.height}")
+    print(f"access doors: {tree.access_door_count()}")
+    print(f"distance-matrix entries: {tree.matrix_entry_count()}")
+    print(f"index build time: {built:.2f}s")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    venue = venue_by_name(args.venue)
+    fe = args.existing if args.existing else default_fe(args.venue.upper())
+    fn = args.candidates if args.candidates else default_fn(
+        args.venue.upper()
+    )
+    clients, facilities = workload(
+        venue,
+        args.clients,
+        fe,
+        fn,
+        seed=args.seed,
+        distribution=args.distribution,
+        sigma=args.sigma,
+    )
+    engine = IFLSEngine(venue)
+    started = time.perf_counter()
+    result = engine.query(
+        clients,
+        facilities,
+        objective=args.objective,
+        algorithm=args.algorithm,
+        cold=True,
+    )
+    elapsed = time.perf_counter() - started
+    print(f"venue:      {venue.name} ({venue.partition_count} partitions)")
+    print(f"workload:   |C|={len(clients)} |Fe|={fe} |Fn|={fn} "
+          f"seed={args.seed} dist={args.distribution}")
+    print(f"algorithm:  {args.algorithm} / {args.objective}")
+    print(f"answer:     partition {result.answer} ({result.status})")
+    print(f"objective:  {result.objective:.4f}")
+    print(f"time:       {elapsed:.3f}s")
+    stats = result.stats
+    print(f"stats:      pruned={stats.clients_pruned}/"
+          f"{stats.clients_total} retrieved={stats.facilities_retrieved} "
+          f"queue pops={stats.queue_pops}")
+    print(f"distances:  idist={stats.distance.idist_calls} "
+          f"d2d={stats.distance.d2d_lookups}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from .indoor.render import FloorPlanRenderer
+
+    venue = venue_by_name(args.venue)
+    renderer = FloorPlanRenderer(
+        venue, width=args.width, height=args.height
+    )
+    levels = (
+        [args.level] if args.level is not None else list(venue.levels)
+    )
+    for level in levels:
+        print(renderer.render_level(level, labels=args.labels))
+        print()
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    from .core.topk import top_k_ifls
+
+    venue = venue_by_name(args.venue)
+    fe = args.existing if args.existing else default_fe(args.venue.upper())
+    fn = args.candidates if args.candidates else default_fn(
+        args.venue.upper()
+    )
+    clients, facilities = workload(
+        venue, args.clients, fe, fn, seed=args.seed
+    )
+    engine = IFLSEngine(venue)
+    ranked, stats = top_k_ifls(
+        engine.problem(clients, facilities), args.k,
+        objective=args.objective,
+    )
+    print(f"top-{args.k} candidates ({args.objective}, |C|={args.clients},"
+          f" |Fe|={fe}, |Fn|={fn}):")
+    for entry in ranked:
+        print(f"  #{entry.rank}: partition {entry.candidate:>6} "
+              f"objective {entry.objective:.4f}")
+    print(f"evaluated {stats.candidates_evaluated} candidates, "
+          f"{stats.evaluations_aborted} aborted early, "
+          f"{stats.client_terms_computed} client terms")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    """Answer a query, then walk the worst-off client to the answer."""
+    from .index.path import PathService
+
+    venue = venue_by_name(args.venue)
+    fe = args.existing if args.existing else default_fe(args.venue.upper())
+    fn = args.candidates if args.candidates else default_fn(
+        args.venue.upper()
+    )
+    clients, facilities = workload(
+        venue, args.clients, fe, fn, seed=args.seed
+    )
+    engine = IFLSEngine(venue)
+    result = engine.query(clients, facilities)
+    if result.answer is None:
+        print("no candidate improves the crowd; nothing to route to")
+        return 0
+    # The client realising the objective, and its nearest facility
+    # among the existing ones plus the answer.
+    placed = sorted(facilities.existing | {result.answer})
+
+    def nearest(client):
+        return min(
+            ((engine.distances.idist(client, f), f) for f in placed)
+        )
+
+    worst = max(clients, key=lambda c: nearest(c)[0])
+    distance, destination = nearest(worst)
+    paths = PathService(venue, graph=engine.tree.graph)
+    route = paths.route_to_partition(worst, destination)
+    print(f"answer: partition {result.answer} "
+          f"(objective {result.objective:.2f})")
+    print(f"worst-off client c{worst.client_id} -> nearest facility "
+          f"{destination} ({distance:.2f} m):")
+    print(paths.describe(route))
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    """Compare the distance-index backends on one venue."""
+    import random as _random
+
+    from .index.doortable import DoorTableIndex
+    from .index.iptree import IPTreeDistanceIndex
+    from .index.viptree import VIPTree
+
+    venue = venue_by_name(args.venue)
+    doors = sorted(venue.door_ids())
+    rng = _random.Random(1)
+    pairs = [tuple(rng.sample(doors, 2)) for _ in range(args.pairs)]
+
+    started = time.perf_counter()
+    tree = VIPTree(venue)
+    vip_build = time.perf_counter() - started
+    started = time.perf_counter()
+    ip = IPTreeDistanceIndex(tree)
+    ip_build = time.perf_counter() - started
+    started = time.perf_counter()
+    table = DoorTableIndex(venue, graph=tree.graph)
+    table_build = time.perf_counter() - started
+
+    print(f"{venue.name}: {venue.door_count} doors, "
+          f"{args.pairs} random query pairs\n")
+    print(f"{'backend':<10}{'build(s)':>10}{'entries':>12}"
+          f"{'query total(s)':>16}")
+    for name, index, build in (
+        ("viptree", tree, vip_build),
+        ("iptree", ip, ip_build),
+        ("doortable", table, table_build),
+    ):
+        started = time.perf_counter()
+        total = sum(index.door_to_door(a, b) for a, b in pairs)
+        elapsed = time.perf_counter() - started
+        assert total >= 0
+        print(f"{name:<10}{build:>10.3f}{index.matrix_entry_count():>12}"
+              f"{elapsed:>16.4f}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .bench.validate import validate_reproduction
+
+    report = validate_reproduction(client_count=args.clients)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    if args.scale:
+        os.environ["REPRO_SCALE"] = args.scale
+    scale = current_scale()
+    out_dir = Path(args.out) if args.out else None
+    if args.experiment == "all":
+        run_all(scale=scale, out_dir=out_dir)
+    else:
+        run_experiment(args.experiment, scale=scale, out_dir=out_dir)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``ifls`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="ifls",
+        description=(
+            "Indoor Facility Location Selection queries (EDBT 2023 "
+            "reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("venues", help="list built-in venues").set_defaults(
+        fn=_cmd_venues
+    )
+
+    info = sub.add_parser("info", help="venue and index details")
+    info.add_argument("venue", choices=[v for v in VENUE_NAMES]
+                      + [v.lower() for v in VENUE_NAMES])
+    info.set_defaults(fn=_cmd_info)
+
+    query = sub.add_parser("query", help="run one IFLS query")
+    query.add_argument("venue", choices=[v for v in VENUE_NAMES]
+                       + [v.lower() for v in VENUE_NAMES])
+    query.add_argument("--clients", type=int, default=1000)
+    query.add_argument("--existing", type=int, default=0,
+                       help="|Fe| (default: venue's Table-2 default)")
+    query.add_argument("--candidates", type=int, default=0,
+                       help="|Fn| (default: venue's Table-2 default)")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--distribution", choices=("uniform", "normal"),
+                       default="uniform")
+    query.add_argument("--sigma", type=float, default=0.5)
+    query.add_argument("--algorithm",
+                       choices=("efficient", "baseline", "bruteforce"),
+                       default="efficient")
+    query.add_argument("--objective",
+                       choices=("minmax", "mindist", "maxsum"),
+                       default="minmax")
+    query.set_defaults(fn=_cmd_query)
+
+    render = sub.add_parser("render", help="ASCII floor plan")
+    render.add_argument("venue", choices=[v for v in VENUE_NAMES]
+                        + [v.lower() for v in VENUE_NAMES])
+    render.add_argument("--level", type=int, default=None)
+    render.add_argument("--width", type=int, default=100)
+    render.add_argument("--height", type=int, default=24)
+    render.add_argument("--labels", action="store_true")
+    render.set_defaults(fn=_cmd_render)
+
+    topk = sub.add_parser("topk", help="k best candidate locations")
+    topk.add_argument("venue", choices=[v for v in VENUE_NAMES]
+                      + [v.lower() for v in VENUE_NAMES])
+    topk.add_argument("-k", type=int, default=5)
+    topk.add_argument("--clients", type=int, default=500)
+    topk.add_argument("--existing", type=int, default=0)
+    topk.add_argument("--candidates", type=int, default=0)
+    topk.add_argument("--seed", type=int, default=0)
+    topk.add_argument("--objective",
+                      choices=("minmax", "mindist", "maxsum"),
+                      default="minmax")
+    topk.set_defaults(fn=_cmd_topk)
+
+    route = sub.add_parser(
+        "route", help="walk the worst client to the query answer"
+    )
+    route.add_argument("venue", choices=[v for v in VENUE_NAMES]
+                       + [v.lower() for v in VENUE_NAMES])
+    route.add_argument("--clients", type=int, default=300)
+    route.add_argument("--existing", type=int, default=0)
+    route.add_argument("--candidates", type=int, default=0)
+    route.add_argument("--seed", type=int, default=0)
+    route.set_defaults(fn=_cmd_route)
+
+    backends = sub.add_parser(
+        "backends", help="compare distance-index backends"
+    )
+    backends.add_argument("venue", choices=[v for v in VENUE_NAMES]
+                          + [v.lower() for v in VENUE_NAMES])
+    backends.add_argument("--pairs", type=int, default=200)
+    backends.set_defaults(fn=_cmd_backends)
+
+    validate = sub.add_parser(
+        "validate", help="end-to-end agreement checks on all venues"
+    )
+    validate.add_argument("--clients", type=int, default=120)
+    validate.set_defaults(fn=_cmd_validate)
+
+    bench = sub.add_parser(
+        "bench", help="regenerate the paper's tables/figures"
+    )
+    bench.add_argument("--experiment", default="all",
+                       choices=("all",) + ALL_EXPERIMENTS)
+    bench.add_argument("--scale", choices=sorted(SCALES), default=None,
+                       help="overrides REPRO_SCALE")
+    bench.add_argument("--out", default=None,
+                       help="directory for CSV output")
+    bench.set_defaults(fn=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exit quietly like other CLIs.
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

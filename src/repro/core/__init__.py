@@ -1,0 +1,63 @@
+"""IFLS query algorithms: efficient approach, baseline, brute force."""
+
+from .baseline import modified_minmax
+from .bruteforce import (
+    brute_force_maxsum,
+    brute_force_mindist,
+    brute_force_minmax,
+)
+from .dynamic import DynamicIFLSSession
+from .efficient import (
+    BOTTOM_UP,
+    TOP_DOWN,
+    EfficientOptions,
+    FacilityStream,
+    efficient_minmax,
+)
+from .maxsum import efficient_maxsum
+from .moving import MovingClientSimulator, WALKING_SPEED
+from .mindist import efficient_mindist
+from .problem import IFLSProblem
+from .queries import (
+    BASELINE,
+    BRUTE_FORCE,
+    EFFICIENT,
+    MAXSUM,
+    MINDIST,
+    MINMAX,
+    IFLSEngine,
+)
+from .result import IFLSResult, ResultStatus
+from .topk import RankedCandidate, TopKStats, top_k_ifls
+from .stats import QueryStats
+
+__all__ = [
+    "BASELINE",
+    "BOTTOM_UP",
+    "BRUTE_FORCE",
+    "DynamicIFLSSession",
+    "RankedCandidate",
+    "TopKStats",
+    "top_k_ifls",
+    "EFFICIENT",
+    "EfficientOptions",
+    "FacilityStream",
+    "IFLSEngine",
+    "IFLSProblem",
+    "MovingClientSimulator",
+    "WALKING_SPEED",
+    "IFLSResult",
+    "MAXSUM",
+    "MINDIST",
+    "MINMAX",
+    "QueryStats",
+    "ResultStatus",
+    "TOP_DOWN",
+    "brute_force_maxsum",
+    "brute_force_mindist",
+    "brute_force_minmax",
+    "efficient_maxsum",
+    "efficient_mindist",
+    "efficient_minmax",
+    "modified_minmax",
+]

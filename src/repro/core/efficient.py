@@ -1,0 +1,476 @@
+"""The efficient IFLS approach (paper Section 5, Algorithms 2 and 3).
+
+The algorithm answers the MinMax IFLS query with a *single* incremental
+search over one VIP-tree indexing ``Fe ∪ Fn``:
+
+* clients are grouped by partition and one bottom-up best-first
+  traversal per client partition retrieves facilities for all of the
+  partition's clients in order of the lower bound ``iMinD(p, I)``;
+* the largest dequeued ``iMinD`` is the global distance ``Gd``: every
+  facility within ``Gd`` of any client is guaranteed retrieved;
+* clients whose nearest *existing* facility is within ``Gd`` are pruned
+  (Lemma 5.1) — the new facility can no longer help them;
+* once every remaining client has at least one retrieved facility
+  (``checkList``), a refinement bound ``dlow`` steps through retrieved
+  facility distances (``increaseDist``), pruning clients and checking
+  after each step whether some candidate covers every remaining client
+  within ``dlow`` (``checkAnswer``).  The first such candidate is
+  optimal and ``dlow`` equals the optimal objective.
+
+Equal-distance steps process existing-facility entries before candidate
+entries, so a client pruned *at* the optimum never blocks the
+no-improvement detection; this makes the result semantics exactly match
+the brute-force oracle (see DESIGN.md, "Result semantics").
+
+:class:`FacilityStream` — the traversal itself — is shared with the
+MinDist and MaxSum extensions (Section 7).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import QueryError, UnreachableFacilityError
+from ..indoor.entities import Client, PartitionId
+from ..index.distance import VIPDistanceEngine
+from .problem import IFLSProblem
+from .result import IFLSResult, ResultStatus
+from .stats import QueryStats
+
+INFINITY = float("inf")
+
+BOTTOM_UP = "bottom-up"
+TOP_DOWN = "top-down"
+
+_KIND_EXISTING = 0
+_KIND_CANDIDATE = 1
+
+_ENTITY_NODE = 1
+_ENTITY_FACILITY = 0
+
+
+@dataclass
+class EfficientOptions:
+    """Tunable behaviour of the efficient approach.
+
+    The defaults are the paper's algorithm; the other settings exist for
+    the ablation benchmarks (see DESIGN.md experiments A1–A3):
+
+    ``prune_clients=False``
+        keeps resolved clients in the distance loop, paying the indoor
+        distance computations that Lemma 5.1 normally avoids (answers
+        are unaffected);
+    ``group_by_partition=False``
+        gives every client its own traversal instead of one per
+        partition, modelling the per-client queue traffic the grouping
+        optimisation removes;
+    ``traversal=TOP_DOWN``
+        seeds each traversal at the root instead of the client's leaf.
+    """
+
+    prune_clients: bool = True
+    group_by_partition: bool = True
+    traversal: str = BOTTOM_UP
+    measure_memory: bool = False
+
+    def __post_init__(self) -> None:
+        if self.traversal not in (BOTTOM_UP, TOP_DOWN):
+            raise QueryError(f"unknown traversal {self.traversal!r}")
+
+
+@dataclass
+class _Group:
+    """One traversal stream: a client partition and its active clients."""
+
+    partition_id: PartitionId
+    clients: List[Client]
+
+
+class FacilityStream:
+    """Incremental all-clients nearest-facility retrieval (Algorithm 3).
+
+    Each :meth:`advance` performs one priority-queue dequeue: it returns
+    the new global distance ``Gd`` and the ``(client, facility,
+    iDist, is_existing)`` records produced by that dequeue (empty for
+    tree-node pops).  ``None`` signals queue exhaustion — at that point
+    every facility has been retrieved for every active client.
+    """
+
+    def __init__(
+        self,
+        engine: VIPDistanceEngine,
+        groups: List[_Group],
+        existing: frozenset,
+        candidates: frozenset,
+        traversal: str = BOTTOM_UP,
+        stats: Optional[QueryStats] = None,
+    ) -> None:
+        self.engine = engine
+        self.tree = engine.tree
+        self.groups = groups
+        self.existing = existing
+        self.facilities = existing | candidates
+        self.stats = stats if stats is not None else QueryStats()
+        self._tie = itertools.count()
+        self._queue: List[Tuple[float, int, int, int, int]] = []
+        self._visited: List[Set[Tuple[int, int]]] = [
+            set() for _ in groups
+        ]
+        for index, group in enumerate(groups):
+            if traversal == BOTTOM_UP:
+                seed = self.tree.leaf_of(group.partition_id)
+            else:
+                seed = self.tree.root
+            self._push(index, _ENTITY_NODE, seed.node_id, lambda: 0.0)
+
+    def _push(
+        self, group_index: int, entity: int, ident: int, key_fn
+    ) -> None:
+        """Enqueue once per (group, entity); the bound is computed
+        lazily so already-visited entities cost one set lookup."""
+        marker = (entity, ident)
+        visited = self._visited[group_index]
+        if marker in visited:
+            return
+        key = key_fn()
+        if key == INFINITY:
+            return
+        visited.add(marker)
+        heapq.heappush(
+            self._queue,
+            (key, next(self._tie), group_index, entity, ident),
+        )
+        self.stats.queue_pushes += 1
+
+    def advance(
+        self,
+    ) -> Optional[Tuple[float, List[Tuple[Client, PartitionId, float, bool]]]]:
+        """One dequeue step: ``(Gd, records)`` or ``None`` when done."""
+        if not self._queue:
+            return None
+        key, _tie, group_index, entity, ident = heapq.heappop(self._queue)
+        self.stats.queue_pops += 1
+        self.stats.iterations += 1
+        group = self.groups[group_index]
+        if not group.clients:
+            # Every client of this partition is resolved: the paper's
+            # |C[p]| > 0 guard — no distances, no expansion.
+            return key, []
+        if entity == _ENTITY_FACILITY:
+            records = []
+            for client in group.clients:
+                dist = self.engine.idist(client, ident)
+                records.append(
+                    (client, ident, dist, ident in self.existing)
+                )
+            self.stats.facilities_retrieved += len(records)
+            return key, records
+
+        node = self.tree.node(ident)
+        partition_id = group.partition_id
+        if node.parent_id is not None:
+            parent = self.tree.node(node.parent_id)
+            self._push(
+                group_index,
+                _ENTITY_NODE,
+                parent.node_id,
+                lambda: self.engine.imind_node(partition_id, parent),
+            )
+        if node.is_leaf:
+            for pid in node.partitions:
+                if pid == partition_id or pid not in self.facilities:
+                    continue
+                self._push(
+                    group_index,
+                    _ENTITY_FACILITY,
+                    pid,
+                    lambda pid=pid: self.engine.imind_partitions(
+                        partition_id, pid
+                    ),
+                )
+        else:
+            for child_id in node.child_node_ids:
+                child = self.tree.node(child_id)
+                self._push(
+                    group_index,
+                    _ENTITY_NODE,
+                    child_id,
+                    lambda child=child: self.engine.imind_node(
+                        partition_id, child
+                    ),
+                )
+        return key, []
+
+
+class _MinMaxState:
+    """Bookkeeping for ``checkList`` / ``checkAnswer`` / ``prune``.
+
+    Maintains, incrementally:
+
+    * the *pending* heap of retrieved ``(distance, kind, client,
+      facility)`` entries not yet absorbed into ``dlow`` (the paper's
+      ``increaseDist`` source), with existing-facility entries ordered
+      before candidate entries at equal distance;
+    * per-candidate cover counts (kept clients within ``dlow``) plus a
+      lazy max-heap so ``checkAnswer`` is O(log) amortised;
+    * the ``isFirst`` flag of ``checkList`` via a second heap of first
+      retrieval distances.
+    """
+
+    def __init__(self, clients: Iterable[Client]) -> None:
+        self.pending: List[Tuple[float, int, int, PartitionId]] = []
+        self.first_heap: List[Tuple[float, int]] = []
+        self.clients: Dict[int, Client] = {
+            c.client_id: c for c in clients
+        }
+        self.pruned: Set[int] = set()
+        self.flagged: Set[int] = set()
+        self.kept_count = len(self.clients)
+        self.first_uncovered = len(self.clients)
+        self.cover_count: Dict[PartitionId, int] = {}
+        self.covered_by: Dict[int, List[PartitionId]] = {}
+        self.cover_heap: List[Tuple[int, PartitionId]] = []
+        self.dlow = 0.0
+        self.max_pruned_de = 0.0
+
+    # -- recording -----------------------------------------------------
+    def record(
+        self,
+        client: Client,
+        facility: PartitionId,
+        dist: float,
+        is_existing: bool,
+    ) -> None:
+        if client.client_id in self.pruned:
+            return
+        kind = _KIND_EXISTING if is_existing else _KIND_CANDIDATE
+        heapq.heappush(
+            self.pending, (dist, kind, client.client_id, facility)
+        )
+        heapq.heappush(self.first_heap, (dist, client.client_id))
+
+    # -- checkList -----------------------------------------------------
+    def update_first(self, gd: float) -> bool:
+        """Pop first-retrieval entries <= Gd; True when every kept
+        client has at least one facility within Gd (``isFirst``)."""
+        while self.first_heap and self.first_heap[0][0] <= gd:
+            _dist, client_id = heapq.heappop(self.first_heap)
+            self._flag(client_id)
+        return self.first_uncovered == 0
+
+    def _flag(self, client_id: int) -> None:
+        if client_id not in self.flagged:
+            self.flagged.add(client_id)
+            self.first_uncovered -= 1
+
+    # -- prune / cover -------------------------------------------------
+    def absorb(self, dist: float, kind: int, client_id: int,
+               facility: PartitionId) -> None:
+        """Advance ``dlow`` to ``dist`` and apply one pending entry."""
+        self.dlow = dist
+        if client_id in self.pruned:
+            return
+        if kind == _KIND_EXISTING:
+            self._prune(client_id, dist)
+        else:
+            count = self.cover_count.get(facility, 0) + 1
+            self.cover_count[facility] = count
+            self.covered_by.setdefault(client_id, []).append(facility)
+            heapq.heappush(self.cover_heap, (-count, facility))
+
+    def _prune(self, client_id: int, de: float) -> None:
+        self.pruned.add(client_id)
+        self.kept_count -= 1
+        if de > self.max_pruned_de:
+            self.max_pruned_de = de
+        self._flag(client_id)
+        for facility in self.covered_by.pop(client_id, ()):
+            count = self.cover_count[facility] - 1
+            self.cover_count[facility] = count
+            heapq.heappush(self.cover_heap, (-count, facility))
+
+    # -- checkAnswer -----------------------------------------------------
+    def full_cover_answer(self) -> Optional[PartitionId]:
+        """The smallest-id candidate covering every kept client, if any."""
+        if self.kept_count == 0:
+            return None
+        heap = self.cover_heap
+        while heap:
+            count, facility = heap[0]
+            if self.cover_count.get(facility) != -count:
+                heapq.heappop(heap)
+                continue
+            if -count < self.kept_count:
+                return None
+            return min(
+                pid
+                for pid, cnt in self.cover_count.items()
+                if cnt == self.kept_count
+            )
+        return None
+
+
+def efficient_minmax(
+    problem: IFLSProblem,
+    options: Optional[EfficientOptions] = None,
+) -> IFLSResult:
+    """Answer a MinMax IFLS query with the efficient approach."""
+    options = options if options is not None else EfficientOptions()
+    stats = QueryStats(
+        algorithm="efficient-minmax", clients_total=len(problem.clients)
+    )
+    started = time.perf_counter()
+    if options.measure_memory:
+        tracemalloc.start()
+    try:
+        result = _run(problem, options, stats)
+    finally:
+        if options.measure_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            stats.peak_memory_bytes = peak
+            tracemalloc.stop()
+    stats.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def make_groups(
+    problem: IFLSProblem, group_by_partition: bool
+) -> List[_Group]:
+    """Traversal streams: one per client partition, or one per client
+    when the grouping optimisation is ablated away."""
+    if group_by_partition:
+        return [
+            _Group(pid, list(clients))
+            for pid, clients in sorted(problem.clients_by_partition.items())
+        ]
+    return [
+        _Group(client.partition_id, [client]) for client in problem.clients
+    ]
+
+
+def _run(
+    problem: IFLSProblem, options: EfficientOptions, stats: QueryStats
+) -> IFLSResult:
+    engine = problem.engine
+    before = engine.stats.snapshot()
+    groups = make_groups(problem, options.group_by_partition)
+    state = _MinMaxState(problem.clients)
+    stream = FacilityStream(
+        engine,
+        groups,
+        problem.existing,
+        problem.candidates,
+        traversal=options.traversal,
+        stats=stats,
+    )
+    group_of_client: Dict[int, _Group] = {}
+    for group in groups:
+        for client in group.clients:
+            group_of_client[client.client_id] = group
+
+    def remove_from_group(client_id: int) -> None:
+        if not options.prune_clients:
+            return
+        group = group_of_client.get(client_id)
+        if group is not None:
+            group.clients = [
+                c for c in group.clients if c.client_id != client_id
+            ]
+
+    def finish(answer: Optional[PartitionId], objective: float):
+        stats.clients_pruned = len(state.pruned)
+        stats.candidate_answers_considered = len(state.cover_count)
+        _merge_engine_stats(engine, before, stats)
+        if answer is None:
+            return IFLSResult(
+                answer=None,
+                objective=objective,
+                status=ResultStatus.NO_IMPROVEMENT,
+                stats=stats,
+            )
+        return IFLSResult(answer=answer, objective=objective, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 pre-phase: clients located inside a facility partition.
+    # ------------------------------------------------------------------
+    for client in problem.clients:
+        pid = client.partition_id
+        if pid in problem.existing or pid in problem.candidates:
+            state.record(client, pid, 0.0, pid in problem.existing)
+            stats.facilities_retrieved += 1
+
+    is_first = state.update_first(0.0)
+    outcome = _drain(state, 0.0, is_first, remove_from_group)
+    if outcome is not None:
+        return finish(*outcome)
+
+    # ------------------------------------------------------------------
+    # Algorithm 3 main loop.
+    # ------------------------------------------------------------------
+    while True:
+        step = stream.advance()
+        if step is None:
+            break
+        gd, records = step
+        for client, facility, dist, is_existing in records:
+            state.record(client, facility, dist, is_existing)
+        if not is_first:
+            is_first = state.update_first(gd)
+        outcome = _drain(state, gd, is_first, remove_from_group)
+        if outcome is not None:
+            return finish(*outcome)
+
+    # Queue exhausted: everything retrieved; finish the refinement.
+    outcome = _drain(state, INFINITY, True, remove_from_group)
+    if outcome is not None:
+        return finish(*outcome)
+    if state.kept_count == 0:
+        return finish(None, state.max_pruned_de)
+    raise UnreachableFacilityError(
+        "some clients cannot reach any candidate facility"
+    )
+
+
+def _drain(
+    state: _MinMaxState,
+    gd: float,
+    is_first: bool,
+    remove_from_group,
+) -> Optional[Tuple[Optional[PartitionId], float]]:
+    """Absorb pending entries up to ``Gd``.
+
+    While ``isFirst`` is false no answer can exist below ``Gd`` (some
+    client has no facility within ``Gd``), so entries are absorbed
+    without answer checks — the paper's Lines 26–28.  Once true, the
+    paper's ``increaseDist`` loop applies: one entry at a time with a
+    ``checkAnswer`` after each (Lines 30–37).
+
+    Returns ``(answer, objective)`` when the query is decided.
+    """
+    pending = state.pending
+    while pending and pending[0][0] <= gd:
+        dist, kind, client_id, facility = heapq.heappop(pending)
+        state.absorb(dist, kind, client_id, facility)
+        if kind == _KIND_EXISTING:
+            remove_from_group(client_id)
+        if state.kept_count == 0:
+            return None, state.max_pruned_de
+        if is_first:
+            answer = state.full_cover_answer()
+            if answer is not None:
+                return answer, state.dlow
+    return None
+
+
+def _merge_engine_stats(engine, before: Dict[str, int], stats: QueryStats):
+    after = engine.stats.snapshot()
+    for key, value in after.items():
+        delta = value - before.get(key, 0)
+        setattr(
+            stats.distance, key, getattr(stats.distance, key, 0) + delta
+        )

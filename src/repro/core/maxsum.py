@@ -1,0 +1,246 @@
+"""MaxSum extension of the efficient approach (paper Section 7).
+
+The objective becomes the number of clients for whom the new facility
+would be strictly nearer than every existing facility.  The traversal
+and the client settling rule are shared with MinMax/MinDist; candidate
+refinement uses *upper bounds on the win count*, as sketched in the
+paper ("the upper bound of the total count can be used to refine the
+candidate answer set"):
+
+* a **win** of candidate ``n`` on client ``c`` is determined when
+  either both ``d(c, n)`` and ``de(c)`` are known, or ``d(c, n) <= Gd``
+  while the client is unsettled (then ``d < de``), or the client is
+  settled and ``n`` was never retrieved for it (then ``d > Gd >= de`` —
+  a loss);
+* the status of an unsettled client against an unretrieved candidate is
+  open, so candidate ``n``'s upper bound is
+  ``wins(n) + #unsettled clients without a determined win on n``;
+* the answer is declared once some fully-determined candidate's count
+  reaches every other candidate's upper bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+import tracemalloc
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..indoor.entities import PartitionId
+from .efficient import EfficientOptions, FacilityStream, make_groups
+from .problem import IFLSProblem
+from .result import IFLSResult, ResultStatus
+from .stats import QueryStats
+
+
+class _MaxSumState:
+    """Incremental win counts and upper bounds for MaxSum.
+
+    Retrieval events are absorbed in global distance order with
+    existing-facility events breaking ties first (one heap), so the
+    invariant "client unsettled while absorbing a candidate event at
+    distance d implies de > d" holds — a tie ``d == de`` settles the
+    client first and correctly does *not* count as a strict win.
+    """
+
+    _EXISTING = 0
+    _CANDIDATE = 1
+
+    def __init__(self, problem: IFLSProblem) -> None:
+        self.candidates: Set[PartitionId] = set(problem.candidates)
+        self.unsettled = {c.client_id for c in problem.clients}
+        self.settled_de: Dict[int, float] = {}
+        self.wins: Dict[PartitionId, int] = {}
+        # Wins credited while the client was unsettled; the complement
+        # (unsettled clients without a win on n) is the open-status set.
+        self.unsettled_wins: Dict[PartitionId, int] = {}
+        self.win_pairs: Dict[int, Set[PartitionId]] = {}
+        self.recorded: Dict[int, Dict[PartitionId, float]] = {}
+        self.events: List[Tuple[float, int, int, PartitionId]] = []
+
+    def record(
+        self, client_id: int, facility: PartitionId, dist: float,
+        is_existing: bool,
+    ) -> None:
+        if client_id in self.settled_de:
+            # Only possible with pruning ablated: judge immediately.
+            if not is_existing and dist < self.settled_de[client_id]:
+                self.wins[facility] = self.wins.get(facility, 0) + 1
+            return
+        kind = self._EXISTING if is_existing else self._CANDIDATE
+        if not is_existing:
+            self.recorded.setdefault(client_id, {})[facility] = dist
+        heapq.heappush(self.events, (dist, kind, client_id, facility))
+
+    def advance(self, gd: float) -> None:
+        while self.events and self.events[0][0] <= gd:
+            dist, kind, client_id, facility = heapq.heappop(self.events)
+            if client_id not in self.unsettled:
+                continue
+            if kind == self._EXISTING:
+                self._settle(client_id, dist)
+                continue
+            marks = self.win_pairs.setdefault(client_id, set())
+            if facility in marks:
+                continue
+            # Unsettled here means de > dist: a determined strict win.
+            marks.add(facility)
+            self.wins[facility] = self.wins.get(facility, 0) + 1
+            self.unsettled_wins[facility] = (
+                self.unsettled_wins.get(facility, 0) + 1
+            )
+
+    def _settle(self, client_id: int, de: float) -> None:
+        self.unsettled.discard(client_id)
+        self.settled_de[client_id] = de
+        marks = self.win_pairs.pop(client_id, set())
+        for facility in marks:
+            self.unsettled_wins[facility] -= 1
+        for facility, dist in self.recorded.pop(client_id, {}).items():
+            if facility in marks:
+                continue  # already credited while unsettled
+            if dist < de:
+                self.wins[facility] = self.wins.get(facility, 0) + 1
+
+    def upper_bound(self, facility: PartitionId) -> int:
+        open_statuses = len(self.unsettled) - self.unsettled_wins.get(
+            facility, 0
+        )
+        return self.wins.get(facility, 0) + open_statuses
+
+    def exact_count(self, facility: PartitionId) -> Optional[int]:
+        if self.unsettled_wins.get(facility, 0) != len(self.unsettled):
+            return None
+        return self.wins.get(facility, 0)
+
+    def check_answer(self) -> Optional[Tuple[PartitionId, int]]:
+        best_count = -1
+        best_pid: Optional[PartitionId] = None
+        for facility in self.candidates:
+            count = self.exact_count(facility)
+            if count is None:
+                continue
+            if count > best_count or (
+                count == best_count
+                and best_pid is not None
+                and facility < best_pid
+            ):
+                best_count = count
+                best_pid = facility
+        if best_pid is None:
+            return None
+        for facility in self.candidates:
+            if facility == best_pid:
+                continue
+            bound = self.upper_bound(facility)
+            if bound > best_count:
+                return None
+            if bound == best_count and self.exact_count(facility) is None:
+                # A competitor could still tie with a smaller id.
+                if facility < best_pid:
+                    return None
+        return best_pid, best_count
+
+
+def efficient_maxsum(
+    problem: IFLSProblem,
+    options: Optional[EfficientOptions] = None,
+) -> IFLSResult:
+    """Answer a MaxSum IFLS query (win-count objective)."""
+    options = options if options is not None else EfficientOptions()
+    stats = QueryStats(
+        algorithm="efficient-maxsum", clients_total=len(problem.clients)
+    )
+    started = time.perf_counter()
+    if options.measure_memory:
+        tracemalloc.start()
+    try:
+        result = _run(problem, options, stats)
+    finally:
+        if options.measure_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            stats.peak_memory_bytes = peak
+            tracemalloc.stop()
+    stats.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def _run(
+    problem: IFLSProblem, options: EfficientOptions, stats: QueryStats
+) -> IFLSResult:
+    groups = make_groups(problem, options.group_by_partition)
+    state = _MaxSumState(problem)
+    stream = FacilityStream(
+        problem.engine,
+        groups,
+        problem.existing,
+        problem.candidates,
+        traversal=options.traversal,
+        stats=stats,
+    )
+
+    def settle_prune() -> None:
+        if not options.prune_clients:
+            return
+        for group in groups:
+            if any(
+                c.client_id in state.settled_de for c in group.clients
+            ):
+                group.clients = [
+                    c
+                    for c in group.clients
+                    if c.client_id not in state.settled_de
+                ]
+
+    for client in problem.clients:
+        pid = client.partition_id
+        if pid in problem.existing or pid in problem.candidates:
+            state.record(
+                client.client_id, pid, 0.0, pid in problem.existing
+            )
+            stats.facilities_retrieved += 1
+    state.advance(0.0)
+    settle_prune()
+    answer = state.check_answer()
+
+    while answer is None:
+        step = stream.advance()
+        if step is None:
+            break
+        gd, records = step
+        for client, facility, dist, is_existing in records:
+            state.record(client.client_id, facility, dist, is_existing)
+        settled_before = len(state.settled_de)
+        state.advance(gd)
+        if len(state.settled_de) != settled_before:
+            settle_prune()
+        answer = state.check_answer()
+
+    if answer is None:
+        # Queue exhausted: every surviving pair is now decidable.
+        state.advance(float("inf"))
+        # Remaining unsettled clients have de = inf beyond retrieval:
+        # any recorded candidate strictly wins them.
+        for client_id in list(state.unsettled):
+            state._settle(client_id, float("inf"))
+        answer = state.check_answer()
+    stats.clients_pruned = len(state.settled_de)
+    stats.candidate_answers_considered = len(state.candidates)
+    if answer is None:
+        # All counts are exact now; pick the max directly.
+        best = max(
+            state.candidates,
+            key=lambda pid: (state.wins.get(pid, 0), -pid),
+        )
+        answer = (best, state.wins.get(best, 0))
+    answer_pid, count = answer
+    if count <= 0:
+        return IFLSResult(
+            answer=None,
+            objective=0.0,
+            status=ResultStatus.NO_IMPROVEMENT,
+            stats=stats,
+        )
+    return IFLSResult(
+        answer=answer_pid, objective=float(count), stats=stats
+    )

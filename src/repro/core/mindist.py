@@ -1,0 +1,279 @@
+"""MinDist extension of the efficient approach (paper Section 7).
+
+The optimisation target changes from the maximum to the *total* (=
+average x |C|) distance of the clients to their nearest facility; the
+traversal, the global distance ``Gd``, and the Lemma 5.1 client pruning
+stay exactly as in the MinMax algorithm.  What changes is how candidate
+answers are generated and checked:
+
+* every candidate keeps a running *total distance*, initialised as a
+  lower bound and refined as facilities are retrieved;
+* for a **settled** client (one whose nearest existing facility is
+  within ``Gd``, i.e. a client the MinMax variant would prune) the term
+  is exact: ``min(de, d(c, n))`` when ``d(c, n)`` was retrieved and
+  ``de`` otherwise (anything unretrieved is farther than ``Gd >= de``);
+* for an unsettled client the term is exact once ``d(c, n) <= Gd``
+  (then ``d < de``) and otherwise lower-bounded by ``Gd``;
+* a candidate whose lower bound exceeds the best exact total is pruned;
+  the answer is declared when some candidate's exact total is no larger
+  than every other candidate's lower bound.
+
+Bookkeeping is incremental: per candidate we store only adjustments
+relative to the shared ``sum(de)`` of settled clients, so one settle
+event costs O(retrieved pairs of that client), not O(|Fn|).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+import tracemalloc
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import UnreachableFacilityError
+from ..indoor.entities import PartitionId
+from .efficient import EfficientOptions, FacilityStream, make_groups
+from .problem import IFLSProblem
+from .result import IFLSResult, ResultStatus
+from .stats import QueryStats
+
+INFINITY = float("inf")
+
+
+class _MinDistState:
+    """Incremental candidate totals for the MinDist objective."""
+
+    def __init__(self, problem: IFLSProblem) -> None:
+        self.candidates: Set[PartitionId] = set(problem.candidates)
+        self.alive: Set[PartitionId] = set(problem.candidates)
+        self.unsettled = {c.client_id for c in problem.clients}
+        self.settled_de: Dict[int, float] = {}
+        self.settled_base = 0.0
+        # Candidate n: settled-client correction vs settled_base.
+        self.adj: Dict[PartitionId, float] = {}
+        # Candidate n: exact unsettled terms (d <= Gd) sum and count.
+        self.ex_sum: Dict[PartitionId, float] = {}
+        self.ex_count: Dict[PartitionId, int] = {}
+        # Per client: recorded candidate distances, exact-marked pairs.
+        self.recorded: Dict[int, Dict[PartitionId, float]] = {}
+        self.exact_pairs: Dict[int, Set[PartitionId]] = {}
+        # Heaps driving settling and exactness promotion.
+        self.settle_heap: List[Tuple[float, int]] = []
+        self.promote_heap: List[Tuple[float, int, PartitionId]] = []
+
+    # -- event intake ----------------------------------------------------
+    def record(
+        self, client_id: int, facility: PartitionId, dist: float,
+        is_existing: bool,
+    ) -> None:
+        if is_existing:
+            if client_id in self.unsettled:
+                heapq.heappush(self.settle_heap, (dist, client_id))
+            return
+        if client_id in self.settled_de:
+            # Cannot happen with pruning on (client removed from groups)
+            # but tolerated: fold directly into the adjustment.
+            de = self.settled_de[client_id]
+            if dist < de and facility in self.alive:
+                self.adj[facility] = (
+                    self.adj.get(facility, 0.0) + dist - de
+                )
+            return
+        self.recorded.setdefault(client_id, {})[facility] = dist
+        heapq.heappush(self.promote_heap, (dist, client_id, facility))
+
+    def advance(self, gd: float) -> None:
+        """Settle clients and promote pairs now proven exact (<= Gd)."""
+        while self.promote_heap and self.promote_heap[0][0] <= gd:
+            dist, client_id, facility = heapq.heappop(self.promote_heap)
+            if client_id not in self.unsettled:
+                continue  # handled by the settle path
+            marks = self.exact_pairs.setdefault(client_id, set())
+            if facility in marks or facility not in self.candidates:
+                continue
+            marks.add(facility)
+            self.ex_sum[facility] = self.ex_sum.get(facility, 0.0) + dist
+            self.ex_count[facility] = self.ex_count.get(facility, 0) + 1
+        while self.settle_heap and self.settle_heap[0][0] <= gd:
+            de, client_id = heapq.heappop(self.settle_heap)
+            if client_id in self.unsettled:
+                self._settle(client_id, de)
+
+    def _settle(self, client_id: int, de: float) -> None:
+        self.unsettled.discard(client_id)
+        self.settled_de[client_id] = de
+        self.settled_base += de
+        marks = self.exact_pairs.pop(client_id, set())
+        for facility, dist in self.recorded.pop(client_id, {}).items():
+            if facility in marks:
+                # Move from the unsettled-exact pool into the settled
+                # adjustment (term value min(de, dist) stays exact).
+                self.ex_sum[facility] -= dist
+                self.ex_count[facility] -= 1
+            term = dist if dist < de else de
+            self.adj[facility] = (
+                self.adj.get(facility, 0.0) + term - de
+            )
+
+    # -- bounds ----------------------------------------------------------
+    def lower_bound(self, facility: PartitionId, gd: float) -> float:
+        unknown = len(self.unsettled) - self.ex_count.get(facility, 0)
+        return (
+            self.settled_base
+            + self.adj.get(facility, 0.0)
+            + self.ex_sum.get(facility, 0.0)
+            + (unknown * gd if unknown else 0.0)  # avoid 0 * inf = nan
+        )
+
+    def exact_total(self, facility: PartitionId) -> Optional[float]:
+        if self.ex_count.get(facility, 0) != len(self.unsettled):
+            return None
+        return (
+            self.settled_base
+            + self.adj.get(facility, 0.0)
+            + self.ex_sum.get(facility, 0.0)
+        )
+
+    def check_answer(
+        self, gd: float
+    ) -> Optional[Tuple[PartitionId, float]]:
+        """Prune dominated candidates; return the answer when decided."""
+        best_exact = INFINITY
+        best_pid: Optional[PartitionId] = None
+        for facility in self.alive:
+            total = self.exact_total(facility)
+            if total is None:
+                continue
+            if total < best_exact or (
+                total == best_exact
+                and best_pid is not None
+                and facility < best_pid
+            ):
+                best_exact = total
+                best_pid = facility
+        if best_pid is None:
+            return None
+        dominated = [
+            facility
+            for facility in self.alive
+            if facility != best_pid
+            and self.lower_bound(facility, gd) > best_exact
+        ]
+        for facility in dominated:
+            self.alive.discard(facility)
+        undecided = [
+            facility
+            for facility in self.alive
+            if facility != best_pid
+            and self.lower_bound(facility, gd) <= best_exact
+            and self.exact_total(facility) is None
+        ]
+        if undecided:
+            return None
+        # Every surviving competitor is exact; best_pid already minimal.
+        return best_pid, best_exact
+
+
+def efficient_mindist(
+    problem: IFLSProblem,
+    options: Optional[EfficientOptions] = None,
+) -> IFLSResult:
+    """Answer a MinDist IFLS query (total-distance objective)."""
+    options = options if options is not None else EfficientOptions()
+    stats = QueryStats(
+        algorithm="efficient-mindist", clients_total=len(problem.clients)
+    )
+    started = time.perf_counter()
+    if options.measure_memory:
+        tracemalloc.start()
+    try:
+        result = _run(problem, options, stats)
+    finally:
+        if options.measure_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            stats.peak_memory_bytes = peak
+            tracemalloc.stop()
+    stats.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def _run(
+    problem: IFLSProblem, options: EfficientOptions, stats: QueryStats
+) -> IFLSResult:
+    groups = make_groups(problem, options.group_by_partition)
+    state = _MinDistState(problem)
+    stream = FacilityStream(
+        problem.engine,
+        groups,
+        problem.existing,
+        problem.candidates,
+        traversal=options.traversal,
+        stats=stats,
+    )
+    group_of_client = {}
+    for group in groups:
+        for client in group.clients:
+            group_of_client[client.client_id] = group
+
+    def settle_prune() -> None:
+        if not options.prune_clients:
+            return
+        for group in groups:
+            if any(
+                c.client_id in state.settled_de for c in group.clients
+            ):
+                group.clients = [
+                    c
+                    for c in group.clients
+                    if c.client_id not in state.settled_de
+                ]
+
+    # Pre-phase: clients inside facility partitions.
+    for client in problem.clients:
+        pid = client.partition_id
+        if pid in problem.existing or pid in problem.candidates:
+            state.record(
+                client.client_id, pid, 0.0, pid in problem.existing
+            )
+            stats.facilities_retrieved += 1
+    state.advance(0.0)
+    settle_prune()
+    answer = state.check_answer(0.0)
+
+    gd = 0.0
+    while answer is None:
+        step = stream.advance()
+        if step is None:
+            break
+        gd, records = step
+        for client, facility, dist, is_existing in records:
+            state.record(client.client_id, facility, dist, is_existing)
+        settled_before = len(state.settled_de)
+        state.advance(gd)
+        if len(state.settled_de) != settled_before:
+            settle_prune()
+        answer = state.check_answer(gd)
+
+    if answer is None:
+        # Queue exhausted: everything retrieved; all terms become exact.
+        state.advance(INFINITY)
+        answer = state.check_answer(INFINITY)
+    stats.clients_pruned = len(state.settled_de)
+    stats.candidate_answers_considered = len(state.alive)
+    if answer is None:
+        if state.unsettled:
+            raise UnreachableFacilityError(
+                "some clients cannot reach any facility"
+            )
+        raise UnreachableFacilityError(
+            "MinDist refinement failed to converge"
+        )
+    answer_pid, total = answer
+    if not state.unsettled and total >= state.settled_base:
+        return IFLSResult(
+            answer=None,
+            objective=state.settled_base,
+            status=ResultStatus.NO_IMPROVEMENT,
+            stats=stats,
+        )
+    return IFLSResult(answer=answer_pid, objective=total, stats=stats)

@@ -1,0 +1,177 @@
+"""Moving clients — the paper's future work (Section 8).
+
+    "In future, we plan to consider moving clients for IFLS queries."
+
+:class:`MovingClientSimulator` animates clients along shortest indoor
+routes (via :class:`~repro.index.path.PathService`) and keeps a
+:class:`~repro.core.dynamic.DynamicIFLSSession` in sync, so the IFLS
+answer can be re-evaluated at any simulation time.  Movement is
+straight-line inside a partition and door-to-door between partitions —
+the same model the distance functions assume.
+
+This is an extension beyond the paper's evaluation; it reuses the
+paper's machinery unchanged (the session answers with the efficient
+algorithm on a warm engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import QueryError
+from ..indoor.entities import Client, FacilitySets, PartitionId
+from ..indoor.geometry import Point
+from ..index.path import PathService, Route
+from .dynamic import DynamicIFLSSession
+from .queries import MINMAX, IFLSEngine
+from .result import IFLSResult
+
+#: Default walking speed, metres per second.
+WALKING_SPEED = 1.4
+
+
+@dataclass
+class _Walker:
+    """A client in motion along a precomputed route."""
+
+    client: Client
+    route: Route
+    destination: PartitionId
+    speed: float
+    leg_index: int = 0
+    leg_progress: float = 0.0
+    arrived: bool = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.arrived = not self.route.legs
+
+    def advance(self, seconds: float) -> Client:
+        """Move along the route; returns the updated client."""
+        budget = seconds * self.speed
+        while budget > 0 and not self.arrived:
+            leg = self.route.legs[self.leg_index]
+            remaining = leg.distance - self.leg_progress
+            if budget < remaining:
+                self.leg_progress += budget
+                budget = 0.0
+            else:
+                budget -= remaining
+                self.leg_progress = 0.0
+                self.leg_index += 1
+                if self.leg_index >= len(self.route.legs):
+                    self.arrived = True
+        self.client = Client(
+            self.client.client_id, self._position(), self._partition()
+        )
+        return self.client
+
+    def _partition(self) -> PartitionId:
+        if self.arrived:
+            return self.destination
+        return self.route.legs[self.leg_index].partition
+
+    def _position(self) -> Point:
+        if self.arrived:
+            if self.route.legs:
+                return self.route.legs[-1].end
+            return self.client.location
+        leg = self.route.legs[self.leg_index]
+        if leg.distance <= 0:
+            return leg.end
+        fraction = min(self.leg_progress / leg.distance, 1.0)
+        return Point(
+            leg.start.x + fraction * (leg.end.x - leg.start.x),
+            leg.start.y + fraction * (leg.end.y - leg.start.y),
+            leg.start.level,
+        )
+
+
+class MovingClientSimulator:
+    """IFLS over clients that walk through the venue."""
+
+    def __init__(
+        self,
+        engine: IFLSEngine,
+        facilities: FacilitySets,
+        objective: str = MINMAX,
+    ) -> None:
+        self.engine = engine
+        self.session = DynamicIFLSSession(
+            engine, facilities, objective=objective
+        )
+        self.paths = PathService(engine.venue, graph=engine.tree.graph)
+        self._walkers: Dict[int, _Walker] = {}
+        self.clock = 0.0
+
+    # ------------------------------------------------------------------
+    def add_walker(
+        self,
+        client: Client,
+        destination: PartitionId,
+        speed: float = WALKING_SPEED,
+    ) -> None:
+        """Add a client walking from its location to ``destination``."""
+        if speed <= 0:
+            raise QueryError("speed must be positive")
+        route = self.paths.route_to_partition(client, destination)
+        self._walkers[client.client_id] = _Walker(
+            client=client,
+            route=route,
+            destination=destination,
+            speed=speed,
+        )
+        self.session.add_client(client)
+
+    def add_stationary(self, client: Client) -> None:
+        """Add a client that does not move."""
+        self.session.add_client(client)
+
+    def remove(self, client_id: int) -> None:
+        """Remove a client (walking or stationary)."""
+        self._walkers.pop(client_id, None)
+        self.session.remove_client(client_id)
+
+    # ------------------------------------------------------------------
+    def step(self, seconds: float) -> int:
+        """Advance the simulation; returns how many clients moved."""
+        if seconds <= 0:
+            raise QueryError("seconds must be positive")
+        self.clock += seconds
+        moved = 0
+        for walker in self._walkers.values():
+            if walker.arrived:
+                continue
+            updated = walker.advance(seconds)
+            self.session.move_client(updated.client_id, updated)
+            moved += 1
+        return moved
+
+    def answer(self) -> IFLSResult:
+        """The IFLS answer for the crowd's current positions."""
+        return self.session.answer()
+
+    # ------------------------------------------------------------------
+    @property
+    def walker_count(self) -> int:
+        """Clients added as walkers (arrived or not)."""
+        return len(self._walkers)
+
+    @property
+    def client_count(self) -> int:
+        """All clients known to the underlying session."""
+        return self.session.client_count
+
+    def en_route(self) -> int:
+        """Clients still walking."""
+        return sum(1 for w in self._walkers.values() if not w.arrived)
+
+    def position_of(self, client_id: int) -> Optional[Client]:
+        """Current Client record (walker or stationary), if known."""
+        walker = self._walkers.get(client_id)
+        if walker is not None:
+            return walker.client
+        for client in self.session.clients:
+            if client.client_id == client_id:
+                return client
+        return None

@@ -1,0 +1,180 @@
+"""High-level query facade.
+
+:class:`IFLSEngine` wraps a venue with its VIP-tree and distance engine
+and answers IFLS queries with any algorithm/objective combination.
+This is the main entry point of the library::
+
+    from repro import IFLSEngine, FacilitySets
+
+    engine = IFLSEngine(venue)
+    result = engine.query(clients, FacilitySets(existing, candidates))
+    print(result.answer, result.objective)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..errors import QueryError
+from ..indoor.entities import Client, FacilitySets, PartitionId
+from ..indoor.venue import IndoorVenue
+from ..index.distance import VIPDistanceEngine
+from ..index.viptree import VIPTree
+from .baseline import modified_minmax
+from .bruteforce import (
+    brute_force_maxsum,
+    brute_force_mindist,
+    brute_force_minmax,
+)
+from .efficient import EfficientOptions, efficient_minmax
+from .maxsum import efficient_maxsum
+from .mindist import efficient_mindist
+from .problem import IFLSProblem
+from .result import IFLSResult
+
+MINMAX = "minmax"
+MINDIST = "mindist"
+MAXSUM = "maxsum"
+
+EFFICIENT = "efficient"
+BASELINE = "baseline"
+BRUTE_FORCE = "bruteforce"
+
+_OBJECTIVES = (MINMAX, MINDIST, MAXSUM)
+_ALGORITHMS = (EFFICIENT, BASELINE, BRUTE_FORCE)
+
+
+class IFLSEngine:
+    """A venue prepared for IFLS queries.
+
+    Builds (or accepts) the VIP-tree once; queries share the tree and
+    its memoised distances, mirroring the paper's setup where ``Fe`` is
+    indexed offline and query parameters arrive at query time.
+    """
+
+    def __init__(
+        self,
+        venue: IndoorVenue,
+        tree: Optional[VIPTree] = None,
+        leaf_capacity: int = 8,
+        fanout: int = 4,
+    ) -> None:
+        self.venue = venue
+        self.tree = (
+            tree
+            if tree is not None
+            else VIPTree(venue, leaf_capacity=leaf_capacity, fanout=fanout)
+        )
+        self.distances = VIPDistanceEngine(self.tree)
+
+    def problem(
+        self,
+        clients: Sequence[Client],
+        facilities: FacilitySets,
+        distances: Optional[VIPDistanceEngine] = None,
+    ) -> IFLSProblem:
+        """Validate inputs and bind them to this engine."""
+        engine = distances if distances is not None else self.distances
+        return IFLSProblem(engine, list(clients), facilities)
+
+    def query(
+        self,
+        clients: Sequence[Client],
+        facilities: FacilitySets,
+        objective: str = MINMAX,
+        algorithm: str = EFFICIENT,
+        options: Optional[EfficientOptions] = None,
+        measure_memory: bool = False,
+        cold: bool = False,
+    ) -> IFLSResult:
+        """Answer one IFLS query.
+
+        Parameters
+        ----------
+        objective:
+            ``"minmax"`` (the paper's IFLS query), ``"mindist"``, or
+            ``"maxsum"`` (Section 7 extensions).
+        algorithm:
+            ``"efficient"`` (Algorithms 2-3), ``"baseline"`` (modified
+            MinMax, only for the minmax objective), or ``"bruteforce"``.
+        options:
+            Ablation switches for the efficient approach.
+        measure_memory:
+            Track peak memory via ``tracemalloc`` (slows the query; used
+            by the benchmark harness).
+        cold:
+            Run on a fresh distance engine instead of this
+            :class:`IFLSEngine`'s shared, warm one.  The baseline gets a
+            non-memoising engine (the paper's baseline considers each
+            client separately); used by the benchmark harness so
+            measurements are independent and fair.
+        """
+        if objective not in _OBJECTIVES:
+            raise QueryError(f"unknown objective {objective!r}")
+        if algorithm not in _ALGORITHMS:
+            raise QueryError(f"unknown algorithm {algorithm!r}")
+        distances = None
+        if cold:
+            distances = VIPDistanceEngine(
+                self.tree, memoize=algorithm != BASELINE
+            )
+        problem = self.problem(clients, facilities, distances=distances)
+        if algorithm == BRUTE_FORCE:
+            dispatch = {
+                MINMAX: brute_force_minmax,
+                MINDIST: brute_force_mindist,
+                MAXSUM: brute_force_maxsum,
+            }
+            if not measure_memory:
+                return dispatch[objective](problem)
+            import time
+            import tracemalloc
+
+            tracemalloc.start()
+            started = time.perf_counter()
+            try:
+                result = dispatch[objective](problem)
+            finally:
+                _, peak = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+            result.stats.peak_memory_bytes = peak
+            result.stats.elapsed_seconds = time.perf_counter() - started
+            return result
+        if algorithm == BASELINE:
+            if objective != MINMAX:
+                raise QueryError(
+                    "the modified MinMax baseline only supports the "
+                    "minmax objective (paper Section 4)"
+                )
+            return modified_minmax(problem, measure_memory=measure_memory)
+        if options is None:
+            options = EfficientOptions(measure_memory=measure_memory)
+        elif measure_memory and not options.measure_memory:
+            options = EfficientOptions(
+                prune_clients=options.prune_clients,
+                group_by_partition=options.group_by_partition,
+                traversal=options.traversal,
+                measure_memory=True,
+            )
+        dispatch = {
+            MINMAX: efficient_minmax,
+            MINDIST: efficient_mindist,
+            MAXSUM: efficient_maxsum,
+        }
+        return dispatch[objective](problem, options)
+
+    # Convenience wrappers -------------------------------------------------
+    def minmax(
+        self,
+        clients: Sequence[Client],
+        existing: Iterable[PartitionId],
+        candidates: Iterable[PartitionId],
+        algorithm: str = EFFICIENT,
+    ) -> IFLSResult:
+        """Shorthand for the paper's IFLS query."""
+        return self.query(
+            clients,
+            FacilitySets(frozenset(existing), frozenset(candidates)),
+            objective=MINMAX,
+            algorithm=algorithm,
+        )

@@ -1,0 +1,56 @@
+"""Per-query execution statistics.
+
+Both IFLS algorithms fill a :class:`QueryStats` so that the pruning and
+grouping effects the paper argues about (Section 5, Section 6.2) are
+directly observable: how many clients were pruned, how many facilities
+were retrieved from the index, how many indoor distance computations
+were needed, and how big the priority queue traffic was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..index.distance import DistanceStats
+
+
+@dataclass
+class QueryStats:
+    """Counters collected while answering one IFLS query."""
+
+    algorithm: str = ""
+    clients_total: int = 0
+    clients_pruned: int = 0
+    facilities_retrieved: int = 0
+    candidate_answers_considered: int = 0
+    queue_pushes: int = 0
+    queue_pops: int = 0
+    iterations: int = 0
+    elapsed_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    distance: DistanceStats = field(default_factory=DistanceStats)
+
+    @property
+    def clients_remaining(self) -> int:
+        """Clients never pruned during the query."""
+        return self.clients_total - self.clients_pruned
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dictionary for reporting (bench harness rows)."""
+        out: Dict[str, float] = {
+            "algorithm": self.algorithm,
+            "clients_total": self.clients_total,
+            "clients_pruned": self.clients_pruned,
+            "facilities_retrieved": self.facilities_retrieved,
+            "candidate_answers_considered": (
+                self.candidate_answers_considered
+            ),
+            "queue_pushes": self.queue_pushes,
+            "queue_pops": self.queue_pops,
+            "iterations": self.iterations,
+            "elapsed_seconds": self.elapsed_seconds,
+            "peak_memory_bytes": self.peak_memory_bytes,
+        }
+        out.update(self.distance.snapshot())
+        return out

@@ -1,0 +1,101 @@
+"""Real-setting facility categories for Melbourne Central (Section 6.1).
+
+The paper's real setting splits MC's 291 facility-eligible partitions
+into service categories; a query uses one category's partitions as the
+existing facilities ``Fe`` and *every other* eligible partition as the
+candidate set ``Fn``:
+
+=======================  =====  ======
+category                 |Fe|   |Fn|
+=======================  =====  ======
+fashion & accessories     101    190
+dining & entertainment     54    237
+health & beauty            39    252
+fresh food                 19    272
+banks & services           14    277
+=======================  =====  ======
+
+The sixth "other" bucket (64 partitions) fills the 291-partition
+universe so the |Fn| column matches the paper exactly.  Assignment of
+rooms to categories is deterministic (seeded shuffle).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..errors import QueryError
+from ..indoor.entities import FacilitySets, PartitionId
+from ..indoor.venue import IndoorVenue
+from .venues import room_partitions
+
+FASHION = "fashion & accessories"
+DINING = "dining & entertainment"
+HEALTH = "health & beauty"
+FRESH_FOOD = "fresh food"
+BANKS = "banks & services"
+OTHER = "other"
+
+#: The paper's category sizes for Melbourne Central.
+CATEGORY_SIZES: Tuple[Tuple[str, int], ...] = (
+    (FASHION, 101),
+    (DINING, 54),
+    (HEALTH, 39),
+    (FRESH_FOOD, 19),
+    (BANKS, 14),
+    (OTHER, 64),
+)
+
+#: Categories usable as the existing-facility set in the real setting.
+QUERY_CATEGORIES = (FASHION, DINING, HEALTH, FRESH_FOOD, BANKS)
+
+_UNIVERSE = sum(size for _name, size in CATEGORY_SIZES)
+
+
+def assign_categories(
+    venue: IndoorVenue, seed: int = 7
+) -> Dict[str, List[PartitionId]]:
+    """Deterministically assign rooms to the paper's categories.
+
+    Requires at least 291 facility-eligible partitions (Melbourne
+    Central has exactly 291 rooms).
+    """
+    rooms = room_partitions(venue)
+    if len(rooms) < _UNIVERSE:
+        raise QueryError(
+            f"venue {venue.name} has {len(rooms)} rooms; the real "
+            f"setting needs at least {_UNIVERSE}"
+        )
+    shuffled = list(rooms)
+    random.Random(seed).shuffle(shuffled)
+    out: Dict[str, List[PartitionId]] = {}
+    cursor = 0
+    for name, size in CATEGORY_SIZES:
+        out[name] = sorted(shuffled[cursor:cursor + size])
+        cursor += size
+    return out
+
+
+def real_setting_facilities(
+    venue: IndoorVenue, category: str, seed: int = 7
+) -> FacilitySets:
+    """Facility sets for one real-setting query category.
+
+    ``Fe`` = the category's partitions; ``Fn`` = all other categorised
+    partitions, reproducing the paper's (|Fe|, |Fn|) pairs.
+    """
+    assignment = assign_categories(venue, seed=seed)
+    if category not in assignment:
+        raise QueryError(
+            f"unknown category {category!r}; choose from "
+            f"{tuple(assignment)}"
+        )
+    existing = frozenset(assignment[category])
+    candidates = frozenset(
+        pid
+        for name, pids in assignment.items()
+        if name != category
+        for pid in pids
+    )
+    return FacilitySets(existing=existing, candidates=candidates)

@@ -1,0 +1,184 @@
+"""The running example of the paper (Figure 1).
+
+A 22-partition, single-level venue with three wings — the structure the
+paper's Figure 1 and its VIP-tree (Figure 2) describe: wing 1 holds
+partitions p1–p6 around corridor p4, wing 2 holds p7–p13 around the
+central corridor p7, and wing 3 holds p14–p22 around corridor p22; door
+``d4`` connects p4 to p7 and door ``d7`` connects p7 to p22.  Four
+existing coffee facilities (e1–e4) and thirteen candidate locations
+(n1–n13) are placed in the rooms, and 60 clients populate the venue.
+
+The original floor-plan geometry is not published, so coordinates are
+our own; the example preserves the paper's structural facts: three
+VIP-tree leaves (one per wing), clients located inside existing
+facilities are pruned at distance zero, and the query answer is the
+candidate ``n5`` in partition ``p10``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..indoor.builder import VenueBuilder
+from ..indoor.entities import Client, PartitionId
+from ..indoor.geometry import Point, Rect
+from ..indoor.venue import IndoorVenue
+
+#: Paper-style names of the existing facilities (partition labels).
+EXISTING_NAMES = ("e1", "e2", "e3", "e4")
+#: Paper-style names of the candidate locations.
+CANDIDATE_NAMES = tuple(f"n{i}" for i in range(1, 14))
+
+#: The worked example's answer: candidate n5, located in partition p10.
+EXPECTED_ANSWER_NAME = "n5"
+
+
+def figure1_venue(
+    client_count: int = 60, seed: int = 42
+) -> Tuple[
+    IndoorVenue,
+    frozenset,
+    frozenset,
+    List[Client],
+    Dict[str, PartitionId],
+]:
+    """Build the Figure-1 example.
+
+    Returns ``(venue, existing, candidates, clients, names)`` where
+    ``names`` maps paper labels (``"p1"``…``"p22"``, ``"e1"``…``"e4"``,
+    ``"n1"``…``"n13"``) to partition ids.
+    """
+    builder = VenueBuilder("figure-1")
+    names: Dict[str, PartitionId] = {}
+
+    def room(label: str, rect: Rect) -> PartitionId:
+        pid = builder.add_room(rect, name=label)
+        names[label] = pid
+        return pid
+
+    def corridor(label: str, rect: Rect) -> PartitionId:
+        pid = builder.add_corridor(rect, name=label)
+        names[label] = pid
+        return pid
+
+    # Wing 1: rooms p1, p2, p3 above corridor p4; p5, p6 below.
+    p1 = room("p1", Rect(0, 14, 10, 22))
+    p2 = room("p2", Rect(10, 14, 20, 22))
+    p3 = room("p3", Rect(20, 14, 30, 22))
+    p4 = corridor("p4", Rect(0, 10, 30, 14))
+    p5 = room("p5", Rect(0, 0, 15, 10))
+    p6 = room("p6", Rect(15, 0, 30, 10))
+
+    # Wing 2: central corridor p7 with rooms p8-p10 above, p11-p13 below.
+    p7 = corridor("p7", Rect(30, 10, 70, 14))
+    p8 = room("p8", Rect(30, 14, 40, 22))
+    p9 = room("p9", Rect(40, 14, 50, 22))
+    p10 = room("p10", Rect(50, 14, 60, 22))
+    p11 = room("p11", Rect(30, 0, 43, 10))
+    p12 = room("p12", Rect(43, 0, 56, 10))
+    p13 = room("p13", Rect(56, 0, 70, 10))
+
+    # Wing 3: rooms p14-p16 above corridor p22; p17-p21 below.
+    p14 = room("p14", Rect(70, 14, 80, 22))
+    p15 = room("p15", Rect(80, 14, 90, 22))
+    p16 = room("p16", Rect(90, 14, 100, 22))
+    p17 = room("p17", Rect(70, 0, 77, 10))
+    p18 = room("p18", Rect(77, 0, 84, 10))
+    p19 = room("p19", Rect(84, 0, 91, 10))
+    p20 = room("p20", Rect(91, 0, 100, 10))
+    p21 = room("p21", Rect(60, 14, 70, 22))
+    p22 = corridor("p22", Rect(70, 10, 100, 14))
+
+    # Room doors onto the wing corridors.
+    for pid, x, y in (
+        (p1, 5, 14), (p2, 15, 14), (p3, 25, 14),
+        (p5, 7.5, 10), (p6, 22.5, 10),
+    ):
+        builder.add_door(Point(x, y, 0), pid, p4)
+    for pid, x, y in (
+        (p8, 35, 14), (p9, 45, 14), (p10, 55, 14),
+        (p11, 36.5, 10), (p12, 49.5, 10), (p13, 63, 10),
+        (p21, 65, 14),
+    ):
+        builder.add_door(Point(x, y, 0), pid, p7)
+    for pid, x, y in (
+        (p14, 75, 14), (p15, 85, 14), (p16, 95, 14),
+        (p17, 73.5, 10), (p18, 80.5, 10), (p19, 87.5, 10),
+        (p20, 95.5, 10),
+    ):
+        builder.add_door(Point(x, y, 0), pid, p22)
+
+    # Corridor-to-corridor doors: d4 (p4-p7) and d7 (p7-p22).
+    builder.add_door(Point(30, 12, 0), p4, p7, name="d4")
+    builder.add_door(Point(70, 12, 0), p7, p22, name="d7")
+
+    venue = builder.build()
+
+    existing_partitions = (p2, p6, p15, p20)
+    candidate_partitions = (
+        p1, p3, p5, p9, p10, p11, p12, p13, p14, p16, p17, p18, p19
+    )
+    for label, pid in zip(EXISTING_NAMES, existing_partitions):
+        names[label] = pid
+    for label, pid in zip(CANDIDATE_NAMES, candidate_partitions):
+        names[label] = pid
+
+    clients = _figure1_clients(
+        venue, existing_partitions, client_count, seed
+    )
+    return (
+        venue,
+        frozenset(existing_partitions),
+        frozenset(candidate_partitions),
+        clients,
+        names,
+    )
+
+
+def _figure1_clients(
+    venue: IndoorVenue,
+    existing_partitions: Tuple[PartitionId, ...],
+    client_count: int,
+    seed: int,
+) -> List[Client]:
+    """60 deterministic clients; six of them inside existing facilities
+    (the paper's c1, c17, c18, c52, c58, c59 are pruned at distance 0)."""
+    rng = random.Random(seed)
+    rooms = [
+        p
+        for p in venue.partitions()
+        if p.kind.value == "room" and p.partition_id not in
+        existing_partitions
+    ]
+    clients: List[Client] = []
+    inside = min(6, client_count)
+    for i in range(inside):
+        partition = venue.partition(existing_partitions[i % 4])
+        rect = partition.rect
+        clients.append(
+            Client(
+                i,
+                Point(
+                    rng.uniform(rect.min_x, rect.max_x),
+                    rng.uniform(rect.min_y, rect.max_y),
+                    0,
+                ),
+                partition.partition_id,
+            )
+        )
+    for i in range(inside, client_count):
+        partition = rng.choice(rooms)
+        rect = partition.rect
+        clients.append(
+            Client(
+                i,
+                Point(
+                    rng.uniform(rect.min_x, rect.max_x),
+                    rng.uniform(rect.min_y, rect.max_y),
+                    0,
+                ),
+                partition.partition_id,
+            )
+        )
+    return clients

@@ -1,0 +1,446 @@
+"""Procedural indoor venue generation.
+
+The paper evaluates on four real venues (Melbourne Central, Chadstone,
+Copenhagen Airport, Menzies Building) whose floor plans are proprietary.
+This module generates corridor/room buildings that reproduce each
+venue's *published statistics* — number of levels, rooms, and doors —
+which is what the IFLS algorithms actually observe (see DESIGN.md,
+"Substitutions").
+
+Layout model
+------------
+Each level consists of one or more corridor *chains* with rooms
+attached:
+
+* ``stack`` layout — corridor chains are horizontal strips stacked on
+  top of each other (sharing walls), with a room row below the bottom
+  chain and above the top one; used for the multi-level venues;
+* ``chain`` layout — halls placed side by side (an airport concourse),
+  each with room rows above and below; used for Copenhagen Airport.
+
+A corridor chain is split into ``segments_per_corridor`` corridor
+partitions connected by doors, as in real floor plans; segmentation
+keeps VIP-tree leaves local (a segment plus its rooms) instead of
+funnelling hundreds of rooms through a single corridor partition.
+
+Levels are connected by *portal* doors: a door shared by corridor
+segments of two consecutive levels (a zero-length stair abstraction).
+A configurable number of rooms receive a second door, and exterior
+doors are attached to the ground floor.
+
+Counts are exact and asserted after generation:
+
+* ``partitions = rooms + levels * chains * segments``
+* ``doors = rooms + double_door_rooms + segment_links
+  + corridor_links + vertical_links + exterior_doors``
+
+The venue specs in :mod:`repro.datasets.venues` solve these equations
+for the paper's published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import VenueError
+from ..indoor.builder import VenueBuilder
+from ..indoor.entities import PartitionId
+from ..indoor.geometry import Point, Rect
+from ..indoor.venue import IndoorVenue
+
+STACK = "stack"
+CHAIN = "chain"
+
+
+@dataclass(frozen=True)
+class BuildingSpec:
+    """Parameters of a generated building.
+
+    ``rooms`` is the *total* room count across all levels; rooms are
+    spread as evenly as possible over levels and corridor sides.
+    """
+
+    name: str
+    levels: int
+    corridors_per_level: int
+    rooms: int
+    layout: str = STACK
+    segments_per_corridor: int = 1
+    corridor_links_per_level: int = 0
+    vertical_links_per_gap: int = 1
+    double_door_rooms: int = 0
+    exterior_doors: int = 2
+    width: float = 200.0
+    room_depth: float = 8.0
+    corridor_depth: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.layout not in (STACK, CHAIN):
+            raise VenueError(f"unknown layout {self.layout!r}")
+        if self.levels < 1 or self.corridors_per_level < 1:
+            raise VenueError("levels and corridors_per_level must be >= 1")
+        if self.segments_per_corridor < 1:
+            raise VenueError("segments_per_corridor must be >= 1")
+        if self.layout == CHAIN and self.levels != 1:
+            raise VenueError("chain layout is single-level")
+        if self.layout == CHAIN and self.segments_per_corridor != 1:
+            raise VenueError("chain halls are not segmented")
+        if self.rooms < self.levels * self.corridors_per_level:
+            raise VenueError("too few rooms for the requested corridors")
+        if self.double_door_rooms > self.rooms:
+            raise VenueError("more double-door rooms than rooms")
+        if (
+            self.layout == STACK
+            and self.corridors_per_level > 1
+            and self.corridor_links_per_level < 1
+        ):
+            raise VenueError(
+                "stacked corridors need corridor_links_per_level >= 1 "
+                "to stay connected"
+            )
+
+    @property
+    def expected_partitions(self) -> int:
+        """Partition count the generated venue will have."""
+        corridors = (
+            self.levels
+            * self.corridors_per_level
+            * self.segments_per_corridor
+        )
+        return self.rooms + corridors
+
+    @property
+    def expected_doors(self) -> int:
+        """Door count the generated venue will have."""
+        segment_links = (
+            self.levels
+            * self.corridors_per_level
+            * (self.segments_per_corridor - 1)
+        )
+        vertical = (self.levels - 1) * self.vertical_links_per_gap
+        links = self.levels * self.corridor_links_per_level
+        if self.layout == CHAIN:
+            links = self.corridor_links_per_level
+        return (
+            self.rooms
+            + self.double_door_rooms
+            + segment_links
+            + links
+            + vertical
+            + self.exterior_doors
+        )
+
+
+def grid_venue(
+    rows: int,
+    columns: int,
+    cell: float = 5.0,
+    name: str = "grid",
+) -> IndoorVenue:
+    """A rows x columns lattice of rooms with doors between neighbours.
+
+    Unlike the corridor buildings, the door graph here is heavily
+    *cyclic* (many alternative shortest paths), which stresses the
+    VIP-tree's access-door decomposition; used by the property tests.
+    """
+    if rows < 1 or columns < 1:
+        raise VenueError("grid needs at least one row and column")
+    if rows * columns < 2:
+        raise VenueError("grid needs at least two rooms")
+    builder = VenueBuilder(name)
+    ids = [
+        [
+            builder.add_room(
+                Rect(c * cell, r * cell, (c + 1) * cell,
+                     (r + 1) * cell),
+                name=f"cell-{r}-{c}",
+            )
+            for c in range(columns)
+        ]
+        for r in range(rows)
+    ]
+    for r in range(rows):
+        for c in range(columns):
+            if c + 1 < columns:
+                builder.add_door(
+                    Point((c + 1) * cell, r * cell + cell / 2, 0),
+                    ids[r][c],
+                    ids[r][c + 1],
+                )
+            if r + 1 < rows:
+                builder.add_door(
+                    Point(c * cell + cell / 2, (r + 1) * cell, 0),
+                    ids[r][c],
+                    ids[r + 1][c],
+                )
+    return builder.build()
+
+
+def _spread(total: int, bins: int) -> List[int]:
+    """Distribute ``total`` items over ``bins`` as evenly as possible."""
+    base, extra = divmod(total, bins)
+    return [base + (1 if i < extra else 0) for i in range(bins)]
+
+
+def generate_building(spec: BuildingSpec) -> IndoorVenue:
+    """Generate the venue described by ``spec`` (deterministic)."""
+    builder = VenueBuilder(spec.name)
+    rooms_per_level = _spread(spec.rooms, spec.levels)
+    double_doors_left = spec.double_door_rooms
+    chains_by_level: List[List[List[PartitionId]]] = []
+
+    for level in range(spec.levels):
+        if spec.layout == STACK:
+            chains, extra = _build_stack_level(
+                builder, spec, level, rooms_per_level[level],
+                double_doors_left,
+            )
+        else:
+            chains, extra = _build_chain_level(
+                builder, spec, level, rooms_per_level[level],
+                double_doors_left,
+            )
+        double_doors_left -= extra
+        chains_by_level.append(chains)
+
+    _link_levels(builder, spec, chains_by_level)
+    _add_exterior_doors(builder, spec, chains_by_level[0])
+    venue = builder.build()
+    if venue.partition_count != spec.expected_partitions:
+        raise VenueError(
+            f"{spec.name}: generated {venue.partition_count} partitions, "
+            f"expected {spec.expected_partitions}"
+        )
+    if venue.door_count != spec.expected_doors:
+        raise VenueError(
+            f"{spec.name}: generated {venue.door_count} doors, "
+            f"expected {spec.expected_doors}"
+        )
+    return venue
+
+
+def _segment_index(spec: BuildingSpec, x: float) -> int:
+    """Which corridor segment covers planar coordinate ``x``."""
+    width_each = spec.width / spec.segments_per_corridor
+    index = int(x / width_each)
+    return min(max(index, 0), spec.segments_per_corridor - 1)
+
+
+def _build_corridor_chain(
+    builder: VenueBuilder,
+    spec: BuildingSpec,
+    level: int,
+    chain_index: int,
+    y0: float,
+) -> List[PartitionId]:
+    """One segmented corridor strip; segments joined by doors."""
+    segment_width = spec.width / spec.segments_per_corridor
+    y1 = y0 + spec.corridor_depth
+    pids: List[PartitionId] = []
+    for k in range(spec.segments_per_corridor):
+        rect = Rect(k * segment_width, y0, (k + 1) * segment_width, y1,
+                    level)
+        pid = builder.add_corridor(
+            rect, name=f"corridor-L{level}-{chain_index}-{k}"
+        )
+        if pids:
+            builder.add_door(
+                Point(k * segment_width, (y0 + y1) / 2.0, level),
+                pids[-1],
+                pid,
+            )
+        pids.append(pid)
+    return pids
+
+
+def _build_stack_level(
+    builder: VenueBuilder,
+    spec: BuildingSpec,
+    level: int,
+    room_count: int,
+    double_doors_left: int,
+):
+    """Corridor chains stacked in y; one room row per outer side."""
+    c = spec.corridors_per_level
+    y = spec.room_depth
+    chains: List[List[PartitionId]] = []
+    for j in range(c):
+        chains.append(
+            _build_corridor_chain(builder, spec, level, j, y)
+        )
+        y += spec.corridor_depth
+
+    # Doors between stacked chains (they share walls).
+    for j in range(spec.corridor_links_per_level):
+        if c < 2:
+            raise VenueError(
+                f"{spec.name}: corridor links require >= 2 corridors"
+            )
+        pair = j % (c - 1)
+        x = spec.width * (0.25 + 0.5 * (j % 2))
+        y_shared = spec.room_depth + spec.corridor_depth * (pair + 1)
+        builder.add_door(
+            Point(x, y_shared, level),
+            chains[pair][_segment_index(spec, x)],
+            chains[pair + 1][_segment_index(spec, x)],
+        )
+
+    # Room rows: below the bottom chain and above the top chain.
+    used_doubles = 0
+    sides = _spread(room_count, 2)
+    top_y = spec.room_depth + c * spec.corridor_depth
+    for side, count in enumerate(sides):
+        if count == 0:
+            continue
+        width_each = spec.width / count
+        for i in range(count):
+            x0 = i * width_each
+            if side == 0:
+                rect = Rect(x0, 0.0, x0 + width_each, spec.room_depth,
+                            level)
+                chain = chains[0]
+                door_y = spec.room_depth
+            else:
+                rect = Rect(x0, top_y, x0 + width_each,
+                            top_y + spec.room_depth, level)
+                chain = chains[-1]
+                door_y = top_y
+            room = builder.add_room(rect, name=f"room-L{level}-{side}-{i}")
+            door_x = x0 + width_each / 2.0
+            builder.add_door(
+                Point(door_x, door_y, level),
+                room,
+                chain[_segment_index(spec, door_x)],
+            )
+            if used_doubles < double_doors_left:
+                second_x = x0 + width_each / 4.0
+                builder.add_door(
+                    Point(second_x, door_y, level),
+                    room,
+                    chain[_segment_index(spec, second_x)],
+                )
+                used_doubles += 1
+    return chains, used_doubles
+
+
+def _build_chain_level(
+    builder: VenueBuilder,
+    spec: BuildingSpec,
+    level: int,
+    room_count: int,
+    double_doors_left: int,
+):
+    """Halls side by side in x, room rows above and below each hall."""
+    c = spec.corridors_per_level
+    hall_width = spec.width / c
+    hall_ids: List[PartitionId] = []
+    for j in range(c):
+        rect = Rect(
+            j * hall_width,
+            spec.room_depth,
+            (j + 1) * hall_width,
+            spec.room_depth + spec.corridor_depth,
+            level,
+        )
+        hall_ids.append(builder.add_hall(rect, name=f"hall-L{level}-{j}"))
+    for j in range(min(spec.corridor_links_per_level, c - 1)):
+        x = (j + 1) * hall_width
+        y = spec.room_depth + spec.corridor_depth / 2.0
+        builder.add_door(Point(x, y, level), hall_ids[j], hall_ids[j + 1])
+
+    rooms_made = 0
+    used_doubles = 0
+    per_hall = _spread(room_count, c)
+    top_y = spec.room_depth + spec.corridor_depth
+    for j, count in enumerate(per_hall):
+        if count == 0:
+            continue
+        sides = _spread(count, 2)
+        for side, side_count in enumerate(sides):
+            if side_count == 0:
+                continue
+            width_each = hall_width / side_count
+            for i in range(side_count):
+                x0 = j * hall_width + i * width_each
+                if side == 0:
+                    rect = Rect(x0, 0.0, x0 + width_each,
+                                spec.room_depth, level)
+                    door_y = spec.room_depth
+                else:
+                    rect = Rect(x0, top_y, x0 + width_each,
+                                top_y + spec.room_depth, level)
+                    door_y = top_y
+                room = builder.add_room(
+                    rect, name=f"room-L{level}-H{j}-{side}-{i}"
+                )
+                door_x = x0 + width_each / 2.0
+                builder.add_door(
+                    Point(door_x, door_y, level), room, hall_ids[j]
+                )
+                if used_doubles < double_doors_left:
+                    builder.add_door(
+                        Point(x0 + width_each / 4.0, door_y, level),
+                        room,
+                        hall_ids[j],
+                    )
+                    used_doubles += 1
+                rooms_made += 1
+    # One single-segment "chain" per hall, for the shared linking code.
+    return [[pid] for pid in hall_ids], used_doubles
+
+
+def _link_levels(
+    builder: VenueBuilder,
+    spec: BuildingSpec,
+    chains_by_level: List[List[List[PartitionId]]],
+) -> None:
+    """Portal doors between matching chains on consecutive levels."""
+    c = spec.corridors_per_level
+    for level in range(spec.levels - 1):
+        lower = chains_by_level[level]
+        upper = chains_by_level[level + 1]
+        for j in range(spec.vertical_links_per_gap):
+            chain_index = j % c
+            rank = j // c
+            frac = (rank + 1) / (spec.vertical_links_per_gap // c + 2)
+            x = spec.width * frac
+            y = (
+                spec.room_depth
+                + spec.corridor_depth * (chain_index + 0.5)
+            )
+            segment = _segment_index(spec, x)
+            builder.add_door(
+                Point(x, y, level),
+                lower[chain_index][segment],
+                upper[chain_index][segment],
+                name=f"stair-L{level}-{j}",
+            )
+
+
+def _add_exterior_doors(
+    builder: VenueBuilder,
+    spec: BuildingSpec,
+    ground_chains: List[List[PartitionId]],
+) -> None:
+    """Entrances on the ground floor, spread over the bottom chain."""
+    if not spec.exterior_doors:
+        return
+    bottom = ground_chains[0]
+    per_segment = [0] * len(bottom)
+    for j in range(spec.exterior_doors):
+        per_segment[j % len(bottom)] += 1
+    placed = 0
+    for index, corridor in enumerate(bottom):
+        rect = builder._partition(corridor).rect
+        for k in range(per_segment[index]):
+            x = rect.min_x + rect.width * (k + 1) / (
+                per_segment[index] + 1
+            )
+            builder.add_door(
+                Point(x, rect.min_y, 0),
+                corridor,
+                None,
+                name=f"entrance-{placed}",
+            )
+            placed += 1

@@ -1,0 +1,163 @@
+"""The paper's four evaluation venues (Section 6.1.1), generated to the
+published statistics:
+
+* **Melbourne Central (MC)** — 7 levels, 298 partitions, 299 doors;
+* **Chadstone (CH)** — 4 levels, 679 partitions, 678 doors;
+* **Copenhagen Airport (CPH)** — ground floor, 2000 m x 600 m,
+  76 partitions, 118 doors;
+* **Menzies Building (MZB)** — 16 levels, 1344 partitions, 1375 doors.
+
+Each factory is deterministic; venue construction is cheap, but VIP-tree
+building is not, so the benchmark harness caches engines per venue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..indoor.entities import PartitionKind
+from ..indoor.venue import IndoorVenue
+from .generators import CHAIN, STACK, BuildingSpec, generate_building
+
+MC = "MC"
+CH = "CH"
+CPH = "CPH"
+MZB = "MZB"
+
+VENUE_NAMES = (MC, CH, CPH, MZB)
+
+_SPECS: Dict[str, BuildingSpec] = {
+    # 291 rooms + 7 corridors = 298 partitions;
+    # 291 room doors + 6 stairs + 2 entrances = 299 doors.
+    MC: BuildingSpec(
+        name="melbourne-central",
+        levels=7,
+        corridors_per_level=1,
+        rooms=291,
+        layout=STACK,
+        corridor_links_per_level=0,
+        vertical_links_per_gap=1,
+        double_door_rooms=0,
+        exterior_doors=2,
+        width=220.0,
+    ),
+    # 651 rooms + 4 levels x 7 corridor segments = 679 partitions;
+    # 651 room doors + 24 segment links + 3 stairs + 0 entrances
+    # = 678 doors.  (>= 651 rooms so the Table-2 maximum |Fe| + |Fn|
+    # of 100 + 500 fits among facility-eligible partitions.)
+    CH: BuildingSpec(
+        name="chadstone",
+        levels=4,
+        corridors_per_level=1,
+        rooms=651,
+        layout=STACK,
+        segments_per_corridor=7,
+        corridor_links_per_level=0,
+        vertical_links_per_gap=1,
+        double_door_rooms=0,
+        exterior_doors=0,
+        width=500.0,
+    ),
+    # 72 rooms + 4 halls = 76 partitions; 72 room doors + 35 second
+    # doors + 3 hall links + 8 entrances = 118 doors.
+    CPH: BuildingSpec(
+        name="copenhagen-airport",
+        levels=1,
+        corridors_per_level=4,
+        rooms=72,
+        layout=CHAIN,
+        corridor_links_per_level=3,
+        double_door_rooms=35,
+        exterior_doors=8,
+        width=2000.0,
+        room_depth=250.0,
+        corridor_depth=100.0,
+    ),
+    # 1184 rooms + 32 chains x 5 segments = 1344 partitions; 1184 room
+    # doors + 15 second doors + 128 segment links + 16 corridor links +
+    # 30 stairs + 2 entrances = 1375 doors.
+    MZB: BuildingSpec(
+        name="menzies-building",
+        levels=16,
+        corridors_per_level=2,
+        rooms=1184,
+        layout=STACK,
+        segments_per_corridor=5,
+        corridor_links_per_level=1,
+        vertical_links_per_gap=2,
+        double_door_rooms=15,
+        exterior_doors=2,
+        width=120.0,
+    ),
+}
+
+#: Paper statistics (rooms incl. corridors/halls, doors) per venue.
+EXPECTED_STATS = {
+    MC: (298, 299),
+    CH: (679, 678),
+    CPH: (76, 118),
+    MZB: (1344, 1375),
+}
+
+
+def melbourne_central() -> IndoorVenue:
+    """Melbourne Central: 7 levels, 298 partitions, 299 doors."""
+    return generate_building(_SPECS[MC])
+
+
+def chadstone() -> IndoorVenue:
+    """Chadstone: 4 levels, 679 partitions, 678 doors."""
+    return generate_building(_SPECS[CH])
+
+
+def copenhagen_airport() -> IndoorVenue:
+    """Copenhagen Airport ground floor: 76 partitions, 118 doors."""
+    return generate_building(_SPECS[CPH])
+
+
+def menzies_building() -> IndoorVenue:
+    """Menzies Building: 16 levels, 1344 partitions, 1375 doors."""
+    return generate_building(_SPECS[MZB])
+
+
+_FACTORIES: Dict[str, Callable[[], IndoorVenue]] = {
+    MC: melbourne_central,
+    CH: chadstone,
+    CPH: copenhagen_airport,
+    MZB: menzies_building,
+}
+
+
+def venue_by_name(name: str) -> IndoorVenue:
+    """Build one of the four paper venues by short name (MC/CH/CPH/MZB)."""
+    try:
+        factory = _FACTORIES[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown venue {name!r}; choose from {VENUE_NAMES}"
+        ) from None
+    return factory()
+
+
+def small_office(levels: int = 2, rooms: int = 24) -> IndoorVenue:
+    """A small office building for tests and examples (fast to index)."""
+    spec = BuildingSpec(
+        name="small-office",
+        levels=levels,
+        corridors_per_level=1,
+        rooms=rooms,
+        layout=STACK,
+        vertical_links_per_gap=1,
+        exterior_doors=1,
+        width=60.0,
+    )
+    return generate_building(spec)
+
+
+def room_partitions(venue: IndoorVenue) -> List[int]:
+    """Ids of room partitions (facility-eligible), sorted."""
+    return sorted(
+        p.partition_id
+        for p in venue.partitions()
+        if p.kind is PartitionKind.ROOM
+    )

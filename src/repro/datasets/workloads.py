@@ -1,0 +1,194 @@
+"""Client and facility workload generation (paper Section 6.1.2).
+
+Clients are generated with either a **uniform** distribution (partition
+chosen with probability proportional to its floor area, point uniform
+inside) or a **normal** distribution with standard deviation ``sigma``
+around the venue centre — the paper's σ ∈ {0.125, 0.25, 0.5, 1, 2}
+controls how strongly clients cluster at the central area.  σ is
+interpreted as a fraction of half the venue extent, so σ = 2 is close
+to uniform and σ = 0.125 is a tight central cluster; sampled points are
+snapped to the nearest room partition on their level.
+
+Facilities (existing and candidate) in the synthetic setting are
+partitions drawn uniformly at random from the facility-eligible
+(room) partitions, without replacement and mutually disjoint.
+"""
+
+from __future__ import annotations
+
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from ..indoor.entities import (
+    Client,
+    FacilitySets,
+    Partition,
+    PartitionId,
+    PartitionKind,
+)
+from ..indoor.geometry import Point
+from ..indoor.venue import IndoorVenue
+from .venues import room_partitions
+
+
+def _client_partitions(venue: IndoorVenue) -> List[Partition]:
+    """Partitions clients may occupy: rooms and halls (not corridors,
+    which model pure circulation space, and not staircases)."""
+    eligible = [
+        p
+        for p in venue.partitions()
+        if p.kind in (PartitionKind.ROOM, PartitionKind.HALL)
+    ]
+    if not eligible:
+        raise QueryError(f"venue {venue.name} has no client partitions")
+    return eligible
+
+
+def uniform_clients(
+    venue: IndoorVenue,
+    count: int,
+    rng: random.Random,
+    start_id: int = 0,
+) -> List[Client]:
+    """``count`` clients uniformly distributed over the venue's rooms."""
+    partitions = _client_partitions(venue)
+    weights = [p.rect.area for p in partitions]
+    chosen = rng.choices(partitions, weights=weights, k=count)
+    clients = []
+    for offset, partition in enumerate(chosen):
+        rect = partition.rect
+        point = Point(
+            rng.uniform(rect.min_x, rect.max_x),
+            rng.uniform(rect.min_y, rect.max_y),
+            rect.level,
+        )
+        clients.append(
+            Client(start_id + offset, point, partition.partition_id)
+        )
+    return clients
+
+
+def normal_clients(
+    venue: IndoorVenue,
+    count: int,
+    sigma: float,
+    rng: random.Random,
+    start_id: int = 0,
+) -> List[Client]:
+    """``count`` clients clustered around the venue centre.
+
+    Points are sampled from N(centre, (sigma * extent/2)^2) per axis
+    (levels from a matching discrete normal over floors) and snapped to
+    the nearest eligible partition on the sampled level.
+    """
+    if sigma <= 0:
+        raise QueryError("sigma must be positive")
+    partitions = _client_partitions(venue)
+    by_level: Dict[int, List[Partition]] = {}
+    for partition in partitions:
+        by_level.setdefault(partition.level, []).append(partition)
+    levels = sorted(by_level)
+    locators = {
+        level: _LevelLocator(parts) for level, parts in by_level.items()
+    }
+    bounds = venue.bounding_rect()
+    centre = bounds.center
+    scale_x = sigma * bounds.width / 2.0
+    scale_y = sigma * bounds.height / 2.0
+    mid_level = (levels[0] + levels[-1]) / 2.0
+    scale_level = max(sigma * len(levels) / 2.0, 1e-9)
+
+    clients = []
+    for offset in range(count):
+        raw_level = rng.gauss(mid_level, scale_level)
+        level = min(levels, key=lambda lv: abs(lv - raw_level))
+        x = rng.gauss(centre.x, scale_x)
+        y = rng.gauss(centre.y, scale_y)
+        point = Point(x, y, level)
+        partition = locators[level].snap(point)
+        rect = partition.rect
+        snapped = rect.clamp(point)
+        # Interior jitter so clients in the same partition do not pile
+        # up on the boundary pixel-for-pixel.
+        snapped = Point(
+            min(max(snapped.x, rect.min_x), rect.max_x),
+            min(max(snapped.y, rect.min_y), rect.max_y),
+            level,
+        )
+        clients.append(
+            Client(start_id + offset, snapped, partition.partition_id)
+        )
+    return clients
+
+
+class _LevelLocator:
+    """R-tree-backed snap of a planar point onto one level's partitions
+    (containment first, nearest footprint otherwise)."""
+
+    def __init__(self, partitions: Sequence[Partition]) -> None:
+        from ..index.rtree import RTree
+
+        self._by_id = {p.partition_id: p for p in partitions}
+        self._tree: "RTree[int]" = RTree()
+        for partition in partitions:
+            self._tree.insert(partition.rect, partition.partition_id)
+
+    def snap(self, point: Point) -> Partition:
+        hits = [
+            (rect.area, pid)
+            for rect, pid in self._tree.query_point(point)
+        ]
+        if hits:
+            return self._by_id[min(hits)[1]]
+        found = self._tree.nearest(point)
+        assert found is not None
+        return self._by_id[found[1]]
+
+
+def random_facility_sets(
+    venue: IndoorVenue,
+    existing_count: int,
+    candidate_count: int,
+    rng: random.Random,
+    eligible: Optional[Iterable[PartitionId]] = None,
+) -> FacilitySets:
+    """Disjoint uniform-random existing and candidate partition sets."""
+    pool = (
+        list(eligible) if eligible is not None else room_partitions(venue)
+    )
+    needed = existing_count + candidate_count
+    if needed > len(pool):
+        raise QueryError(
+            f"venue {venue.name} has only {len(pool)} facility-eligible "
+            f"partitions; requested {needed}"
+        )
+    sample = rng.sample(pool, needed)
+    return FacilitySets(
+        existing=frozenset(sample[:existing_count]),
+        candidates=frozenset(sample[existing_count:]),
+    )
+
+
+def workload(
+    venue: IndoorVenue,
+    client_count: int,
+    existing_count: int,
+    candidate_count: int,
+    seed: int = 0,
+    distribution: str = "uniform",
+    sigma: float = 1.0,
+) -> Tuple[List[Client], FacilitySets]:
+    """One synthetic-setting workload (clients + facility sets)."""
+    rng = random.Random(seed)
+    facilities = random_facility_sets(
+        venue, existing_count, candidate_count, rng
+    )
+    if distribution == "uniform":
+        clients = uniform_clients(venue, client_count, rng)
+    elif distribution == "normal":
+        clients = normal_clients(venue, client_count, sigma, rng)
+    else:
+        raise QueryError(f"unknown distribution {distribution!r}")
+    return clients, facilities

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failure modes below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class VenueError(ReproError):
+    """The indoor venue definition is structurally invalid."""
+
+
+class UnknownEntityError(VenueError, KeyError):
+    """A partition, door, or client id does not exist in the venue."""
+
+    def __init__(self, kind: str, entity_id: object) -> None:
+        super().__init__(f"unknown {kind}: {entity_id!r}")
+        self.kind = kind
+        self.entity_id = entity_id
+
+
+class DisconnectedVenueError(VenueError):
+    """The venue's door graph is not connected.
+
+    IFLS queries assume every client can reach every facility; a
+    disconnected venue would make some indoor distances infinite.
+    """
+
+
+class IndexError_(ReproError):
+    """VIP-tree construction or lookup failed."""
+
+
+class QueryError(ReproError):
+    """An IFLS query was issued with invalid inputs."""
+
+
+class EmptyCandidateSetError(QueryError):
+    """The candidate location set ``Fn`` is empty."""
+
+
+class UnreachableFacilityError(QueryError):
+    """A client cannot reach any facility (infinite indoor distance)."""

@@ -1,0 +1,29 @@
+"""VIP-tree index: construction, distance matrices, facility search."""
+
+from .construction import DEFAULT_FANOUT, DEFAULT_LEAF_CAPACITY
+from .distance import DistanceStats, VIPDistanceEngine
+from .doortable import DoorTableIndex
+from .iptree import IPTreeDistanceIndex
+from .node import NodeId, VIPNode
+from .path import PathService, Route, RouteLeg
+from .rtree import PartitionLocator, RTree
+from .search import FacilitySearch
+from .viptree import VIPTree
+
+__all__ = [
+    "DEFAULT_FANOUT",
+    "DEFAULT_LEAF_CAPACITY",
+    "DistanceStats",
+    "DoorTableIndex",
+    "IPTreeDistanceIndex",
+    "FacilitySearch",
+    "NodeId",
+    "PartitionLocator",
+    "PathService",
+    "RTree",
+    "Route",
+    "RouteLeg",
+    "VIPDistanceEngine",
+    "VIPNode",
+    "VIPTree",
+]

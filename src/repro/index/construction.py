@@ -1,0 +1,244 @@
+"""Bottom-up VIP-tree construction.
+
+Following the paper (Section 3) and Shao et al.: adjacent indoor
+partitions are combined into leaf nodes, then adjacent nodes are
+repeatedly combined into parents until a single root remains.  Grouping
+is a greedy BFS over the adjacency graph so every node covers a
+door-connected region, which keeps access-door counts small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..errors import IndexError_
+from ..indoor.entities import PartitionId
+from ..indoor.venue import IndoorVenue
+from .node import NodeId, VIPNode
+
+DEFAULT_LEAF_CAPACITY = 8
+DEFAULT_FANOUT = 4
+
+
+def _group_connected(
+    items: Sequence[int],
+    adjacency: Dict[int, Set[int]],
+    capacity: int,
+) -> List[List[int]]:
+    """Greedily partition ``items`` into connected groups of <= capacity.
+
+    Deterministic: items are visited in the given order; the BFS
+    frontier absorbs low-degree members first (rooms before corridors),
+    so a leaf becomes "a corridor segment plus its rooms" rather than a
+    chain of corridors with all their rooms stranded — which is what
+    keeps the access-door counts (and hence the index matrices) small.
+    """
+    degree = {item: len(adjacency.get(item, ())) for item in items}
+    unassigned = set(items)
+    groups: List[List[int]] = []
+    for seed in items:
+        if seed not in unassigned:
+            continue
+        group = [seed]
+        unassigned.discard(seed)
+        frontier = sorted(
+            adjacency.get(seed, ()) & unassigned,
+            key=lambda p: (degree[p], p),
+        )
+        while frontier and len(group) < capacity:
+            nxt = frontier.pop(0)
+            if nxt not in unassigned:
+                continue
+            group.append(nxt)
+            unassigned.discard(nxt)
+            extra = adjacency.get(nxt, ()) & unassigned
+            if extra:
+                frontier = sorted(
+                    set(frontier) | extra,
+                    key=lambda p: (degree[p], p),
+                )
+        groups.append(group)
+    return groups
+
+
+def _absorb_singletons(
+    groups: List[List[int]],
+    adjacency: Dict[int, Set[int]],
+) -> List[List[int]]:
+    """Merge singleton leaf groups into an adjacent group.
+
+    Star topologies (one corridor with many rooms) strand rooms whose
+    corridor's leaf filled up; a single-partition leaf contributes its
+    whole door set as access doors, so absorbing it — even past the
+    nominal capacity — yields a strictly smaller index.
+    """
+    group_of: Dict[int, int] = {}
+    for index, group in enumerate(groups):
+        for member in group:
+            group_of[member] = index
+    for index, group in enumerate(groups):
+        if len(group) != 1:
+            continue
+        member = group[0]
+        neighbours = adjacency.get(member, ())
+        candidates = {
+            group_of[n] for n in neighbours if group_of[n] != index
+        }
+        if not candidates:
+            continue
+        target = min(candidates, key=lambda g: (len(groups[g]), g))
+        groups[target].append(member)
+        group_of[member] = target
+        group.clear()
+    return [group for group in groups if group]
+
+
+def build_nodes(
+    venue: IndoorVenue,
+    leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+    fanout: int = DEFAULT_FANOUT,
+) -> Tuple[List[VIPNode], Dict[PartitionId, NodeId]]:
+    """Build the node hierarchy (without distance matrices).
+
+    Returns the node list (indexed by node id) and the partition → leaf
+    map.  Matrices are filled by :class:`repro.index.viptree.VIPTree`.
+    """
+    if leaf_capacity < 1 or fanout < 2:
+        raise IndexError_(
+            f"invalid tree parameters: leaf_capacity={leaf_capacity}, "
+            f"fanout={fanout}"
+        )
+    partition_ids = sorted(venue.partition_ids())
+    if not partition_ids:
+        raise IndexError_("cannot index an empty venue")
+
+    partition_adjacency: Dict[int, Set[int]] = {
+        pid: set(venue.neighbours(pid)) for pid in partition_ids
+    }
+    leaf_groups = _group_connected(
+        partition_ids, partition_adjacency, leaf_capacity
+    )
+    leaf_groups = _absorb_singletons(leaf_groups, partition_adjacency)
+
+    nodes: List[VIPNode] = []
+    leaf_of: Dict[PartitionId, NodeId] = {}
+    for group in leaf_groups:
+        node_id = len(nodes)
+        nodes.append(
+            VIPNode(node_id=node_id, partitions=tuple(sorted(group)))
+        )
+        for pid in group:
+            leaf_of[pid] = node_id
+
+    # Merge upwards until a single root remains.
+    current: List[NodeId] = [n.node_id for n in nodes]
+    while len(current) > 1:
+        adjacency = _node_adjacency(venue, nodes, current, leaf_of)
+        groups = _group_connected(current, adjacency, fanout)
+        if len(groups) == len(current):
+            # No merges happened (e.g. pathological adjacency): collapse
+            # everything into one parent to guarantee termination.
+            groups = [list(current)]
+        next_level: List[NodeId] = []
+        for group in groups:
+            if len(group) == 1 and len(groups) > 1:
+                # Re-attach singletons to keep the tree balanced-ish: a
+                # singleton group simply survives to the next round.
+                next_level.append(group[0])
+                continue
+            node_id = len(nodes)
+            covered: List[PartitionId] = []
+            for child in group:
+                covered.extend(nodes[child].partitions)
+                nodes[child].parent_id = node_id
+            nodes.append(
+                VIPNode(
+                    node_id=node_id,
+                    child_node_ids=tuple(group),
+                    partitions=tuple(sorted(covered)),
+                )
+            )
+            next_level.append(node_id)
+        if len(next_level) >= len(current):
+            # Defensive: grouping must shrink the level.
+            raise IndexError_("VIP-tree construction failed to converge")
+        current = next_level
+
+    _assign_doors_and_access(venue, nodes)
+    _assign_depth_and_spans(nodes, current[0])
+    for node in nodes:
+        node.finalize()
+    return nodes, leaf_of
+
+
+def _node_adjacency(
+    venue: IndoorVenue,
+    nodes: List[VIPNode],
+    level: List[NodeId],
+    leaf_of: Dict[PartitionId, NodeId],
+) -> Dict[int, Set[int]]:
+    """Adjacency between same-level nodes: a door crosses between them."""
+    # Map each partition to its current-level node by walking up.
+    top: Dict[PartitionId, NodeId] = {}
+    level_set = set(level)
+    for pid, leaf in leaf_of.items():
+        node = leaf
+        while node not in level_set:
+            parent = nodes[node].parent_id
+            if parent is None:
+                break
+            node = parent
+        top[pid] = node
+    adjacency: Dict[int, Set[int]] = {nid: set() for nid in level}
+    for door in venue.doors():
+        sides = door.partitions()
+        if len(sides) != 2:
+            continue
+        a, b = top[sides[0]], top[sides[1]]
+        if a != b and a in adjacency and b in adjacency:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+    return adjacency
+
+
+def _assign_doors_and_access(
+    venue: IndoorVenue, nodes: List[VIPNode]
+) -> None:
+    for node in nodes:
+        covered = set(node.partitions)
+        door_ids: Set[int] = set()
+        for pid in node.partitions:
+            door_ids.update(venue.doors_of(pid))
+        access: List[int] = []
+        for door_id in sorted(door_ids):
+            door = venue.door(door_id)
+            sides = door.partitions()
+            crosses = door.is_exterior or any(
+                pid not in covered for pid in sides
+            )
+            if crosses:
+                access.append(door_id)
+        node.doors = tuple(sorted(door_ids))
+        node.access_doors = tuple(access)
+
+
+def _assign_depth_and_spans(nodes: List[VIPNode], root_id: NodeId) -> None:
+    """DFS from the root: set depth and the [leaf_lo, leaf_hi) spans."""
+    counter = 0
+    stack: List[Tuple[NodeId, int, bool]] = [(root_id, 0, False)]
+    while stack:
+        node_id, depth, done = stack.pop()
+        node = nodes[node_id]
+        if done:
+            node.leaf_hi = counter
+            continue
+        node.depth = depth
+        if node.is_leaf:
+            node.leaf_lo = counter
+            counter += 1
+            node.leaf_hi = counter
+            continue
+        node.leaf_lo = counter
+        stack.append((node_id, depth, True))
+        for child in reversed(node.child_node_ids):
+            stack.append((child, depth + 1, False))

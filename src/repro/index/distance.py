@@ -1,0 +1,280 @@
+"""VIP-tree-backed indoor distance engine.
+
+Implements the three distance primitives the IFLS algorithms consume
+(paper Section 5.3.1), all resolved through the tree's matrices:
+
+* ``iMinD(p, I)`` — shortest indoor distance between a partition ``p``
+  (distance 0 to its own doors) and an indoor entity ``I`` (partition or
+  VIP-tree node);
+* ``iDist(c, p)`` — shortest indoor distance between a client and a
+  partition, with the paper's single-door shortcut: when the client's
+  partition has exactly one door, the already-memoised ``iMinD(c.p, p)``
+  is reused and only the client's offset to that door is added;
+* ``minD(point, N)`` — lower bound from an exact point to a node, used
+  by the top-down nearest-neighbour search of the baseline.
+
+The engine memoises ``iMinD`` per partition pair, which is what makes
+the paper's client-grouping pay off: all clients of a single-door
+partition share one matrix computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..indoor.entities import Client, PartitionId
+from ..indoor.venue import IndoorVenue
+from .node import VIPNode
+from .viptree import VIPTree
+
+INFINITY = float("inf")
+
+
+@dataclass
+class DistanceStats:
+    """Counters describing how hard the engine worked.
+
+    ``distance_computations`` counts resolved point/partition distance
+    requests (the paper's "number of indoor distance computations");
+    cache hits are counted separately so pruning effects are visible.
+    """
+
+    distance_computations: int = 0
+    d2d_lookups: int = 0
+    imind_cache_hits: int = 0
+    idist_calls: int = 0
+    single_door_shortcuts: int = 0
+
+    def merge(self, other: "DistanceStats") -> None:
+        """Accumulate another counter set into this one."""
+        self.distance_computations += other.distance_computations
+        self.d2d_lookups += other.d2d_lookups
+        self.imind_cache_hits += other.imind_cache_hits
+        self.idist_calls += other.idist_calls
+        self.single_door_shortcuts += other.single_door_shortcuts
+
+    def snapshot(self) -> Dict[str, int]:
+        """Flat dict of the counters (for reports)."""
+        return {
+            "distance_computations": self.distance_computations,
+            "d2d_lookups": self.d2d_lookups,
+            "imind_cache_hits": self.imind_cache_hits,
+            "idist_calls": self.idist_calls,
+            "single_door_shortcuts": self.single_door_shortcuts,
+        }
+
+
+class VIPDistanceEngine:
+    """Distance primitives over a :class:`VIPTree`.
+
+    ``memoize`` controls the partition-level distance reuse that the
+    *efficient* IFLS algorithm contributes (Section 5.3.1): caching
+    ``iMinD`` per partition pair and door-pair distances, plus the
+    single-door shortcut that lets all clients of a one-door partition
+    share a single computation.  The paper's baseline "considers each
+    client separately", so it runs on an engine with ``memoize=False``
+    where every call recomputes from the index matrices.
+    """
+
+    def __init__(self, tree: VIPTree, memoize: bool = True) -> None:
+        self.tree = tree
+        self.venue: IndoorVenue = tree.venue
+        self.memoize = memoize
+        self.stats = DistanceStats()
+        self._imind_pp: Dict[Tuple[PartitionId, PartitionId], float] = {}
+        self._d2d_cache: Dict[Tuple[int, int], float] = {}
+        # Per-partition door metadata, resolved once (structural, not a
+        # distance memo — kept in both modes).
+        self._doors_of: Dict[PartitionId, Tuple[int, ...]] = {}
+        self._door_locations = {
+            d.door_id: d.location for d in self.venue.doors()
+        }
+
+    def reset_stats(self) -> DistanceStats:
+        """Return current stats and start a fresh counter set."""
+        out = self.stats
+        self.stats = DistanceStats()
+        return out
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _doors(self, partition_id: PartitionId) -> Tuple[int, ...]:
+        doors = self._doors_of.get(partition_id)
+        if doors is None:
+            doors = tuple(self.venue.doors_of(partition_id))
+            self._doors_of[partition_id] = doors
+        return doors
+
+    def door_to_door(self, a: int, b: int) -> float:
+        """Door distance via the tree matrices (memoised if enabled)."""
+        if not self.memoize:
+            self.stats.d2d_lookups += 1
+            return self.tree.door_to_door(a, b)
+        key = (a, b) if a <= b else (b, a)
+        cached = self._d2d_cache.get(key)
+        if cached is not None:
+            return cached
+        self.stats.d2d_lookups += 1
+        dist = self.tree.door_to_door(a, b)
+        self._d2d_cache[key] = dist
+        return dist
+
+    # ------------------------------------------------------------------
+    # iMinD: partition <-> entity
+    # ------------------------------------------------------------------
+    def imind_partitions(self, a: PartitionId, b: PartitionId) -> float:
+        """``iMinD`` between two partitions (0 when equal)."""
+        if a == b:
+            return 0.0
+        key = (a, b) if a <= b else (b, a)
+        if self.memoize:
+            cached = self._imind_pp.get(key)
+            if cached is not None:
+                self.stats.imind_cache_hits += 1
+                return cached
+        self.stats.distance_computations += 1
+        best = INFINITY
+        doors_b = self._doors(b)
+        for door_a in self._doors(a):
+            for door_b in doors_b:
+                d = self.door_to_door(door_a, door_b)
+                if d < best:
+                    best = d
+        if self.memoize:
+            self._imind_pp[key] = best
+        return best
+
+    def imind_node(self, partition_id: PartitionId, node: VIPNode) -> float:
+        """``iMinD`` from a partition to a VIP-tree node.
+
+        0 when the node's subtree covers the partition; otherwise the
+        best door→access-door matrix entry.  This is an exact lower
+        bound for ``iDist(c, f)`` of any client ``c`` in the partition
+        and any facility ``f`` inside the node.
+        """
+        if self.tree.covers(node, partition_id):
+            return 0.0
+        self.stats.distance_computations += 1
+        best = INFINITY
+        rows = self.tree.rows
+        for access in node.access_doors:
+            row = rows[access]
+            for door_a in self._doors(partition_id):
+                d = row.get(door_a)
+                if d is not None and d < best:
+                    best = d
+        return best
+
+    # ------------------------------------------------------------------
+    # iDist: client/point <-> partition
+    # ------------------------------------------------------------------
+    def idist(self, client: Client, target: PartitionId) -> float:
+        """``iDist(c, p)``: exact client-to-partition indoor distance.
+
+        Implements both cases of paper §5.3.1: the single-door shortcut
+        reuses the memoised ``iMinD`` of the client's partition, the
+        general case enumerates exit doors.
+        """
+        self.stats.idist_calls += 1
+        source = client.partition_id
+        if source == target:
+            return 0.0
+        partition = self.venue.partition(source)
+        exit_doors = self._doors(source)
+        if len(exit_doors) == 1 and self.memoize:
+            self.stats.single_door_shortcuts += 1
+            door_location = self._door_locations[exit_doors[0]]
+            offset = partition.intra_distance(client.location, door_location)
+            return self.imind_partitions(source, target) + offset
+        best = INFINITY
+        target_doors = self._doors(target)
+        for exit_id in exit_doors:
+            offset = partition.intra_distance(
+                client.location, self._door_locations[exit_id]
+            )
+            if offset >= best:
+                continue
+            for target_door in target_doors:
+                total = offset + self.door_to_door(exit_id, target_door)
+                if total < best:
+                    best = total
+        return best
+
+    def point_min_dist_to_node(self, client: Client, node: VIPNode) -> float:
+        """Lower bound from an exact client location to a node.
+
+        Unlike :meth:`imind_node` this includes the client's offset to
+        its partition's exit doors, so the bound is tight enough for
+        top-down NN search (baseline algorithm).
+        """
+        source = client.partition_id
+        if self.tree.covers(node, source):
+            return 0.0
+        partition = self.venue.partition(source)
+        best = INFINITY
+        rows = self.tree.rows
+        offsets = [
+            (
+                partition.intra_distance(
+                    client.location, self._door_locations[door_id]
+                ),
+                door_id,
+            )
+            for door_id in self._doors(source)
+        ]
+        for access in node.access_doors:
+            row = rows[access]
+            for offset, door_id in offsets:
+                if offset >= best:
+                    continue
+                d = row.get(door_id)
+                if d is not None and offset + d < best:
+                    best = offset + d
+        return best
+
+    def point_to_point(
+        self,
+        a_client: Client,
+        b_client: Client,
+    ) -> float:
+        """Shortest indoor distance between two located clients.
+
+        Not used on the IFLS hot path (facilities are partitions) but
+        part of the public VIP-tree API the paper builds on.
+        """
+        if a_client.partition_id == b_client.partition_id:
+            partition = self.venue.partition(a_client.partition_id)
+            return partition.intra_distance(
+                a_client.location, b_client.location
+            )
+        partition_b = self.venue.partition(b_client.partition_id)
+        best = INFINITY
+        for door_id in self._doors(b_client.partition_id):
+            tail = partition_b.intra_distance(
+                b_client.location, self._door_locations[door_id]
+            )
+            if tail >= best:
+                continue
+            head = self._point_to_door(a_client, door_id)
+            if head + tail < best:
+                best = head + tail
+        return best
+
+    def _point_to_door(self, client: Client, door_id: int) -> float:
+        partition = self.venue.partition(client.partition_id)
+        best = INFINITY
+        door = self.venue.door(door_id)
+        if client.partition_id in door.partitions():
+            best = partition.intra_distance(client.location, door.location)
+        for exit_id in self._doors(client.partition_id):
+            offset = partition.intra_distance(
+                client.location, self._door_locations[exit_id]
+            )
+            if offset >= best:
+                continue
+            via = offset + self.door_to_door(exit_id, door_id)
+            if via < best:
+                best = via
+        return best

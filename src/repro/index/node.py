@@ -1,0 +1,66 @@
+"""VIP-tree node structure.
+
+A node covers a contiguous group of indoor partitions.  Leaf nodes cover
+the partitions directly; internal nodes cover the union of their
+children.  Every node knows its *access doors*: the doors connecting a
+partition inside the node to a partition outside it (or to the
+exterior).  Any indoor path entering or leaving the node must pass
+through one of its access doors — the key property behind the VIP-tree
+distance matrices (Shao et al., PVLDB'16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..indoor.entities import DoorId, PartitionId
+
+NodeId = int
+
+
+@dataclass
+class VIPNode:
+    """One node of a VIP-tree.
+
+    ``leaf_lo``/``leaf_hi`` give the node's span in the DFS leaf
+    ordering, so subtree containment tests are two integer comparisons.
+    """
+
+    node_id: NodeId
+    parent_id: Optional[NodeId] = None
+    child_node_ids: Tuple[NodeId, ...] = ()
+    partitions: Tuple[PartitionId, ...] = ()
+    doors: Tuple[DoorId, ...] = ()
+    access_doors: Tuple[DoorId, ...] = ()
+    depth: int = 0
+    leaf_lo: int = 0
+    leaf_hi: int = 0
+    _access_door_set: frozenset = field(default_factory=frozenset, repr=False)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node covers partitions directly."""
+        return not self.child_node_ids
+
+    @property
+    def is_root(self) -> bool:
+        """True for the tree's single root."""
+        return self.parent_id is None
+
+    @property
+    def access_door_set(self) -> frozenset:
+        """Access doors as a frozenset (O(1) membership)."""
+        return self._access_door_set
+
+    def finalize(self) -> None:
+        """Freeze derived lookup sets after construction mutates fields."""
+        self._access_door_set = frozenset(self.access_doors)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        shape = "leaf" if self.is_leaf else f"{len(self.child_node_ids)} kids"
+        return (
+            f"VIPNode(id={self.node_id}, {shape}, "
+            f"partitions={len(self.partitions)}, "
+            f"access_doors={len(self.access_doors)}, depth={self.depth})"
+        )

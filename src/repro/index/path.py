@@ -1,0 +1,183 @@
+"""Indoor shortest-path reconstruction.
+
+The IFLS algorithms only need distances, but a deployed facility-
+location service also wants to *show* the route (the paper's VIP-tree
+stores first-hop doors for exactly this purpose).  This module
+reconstructs door sequences and full point-to-point routes on top of
+the door graph, with per-source memoised predecessor trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import UnreachableFacilityError
+from ..indoor.doorgraph import DoorGraph
+from ..indoor.entities import Client, DoorId, PartitionId
+from ..indoor.geometry import Point
+from ..indoor.venue import IndoorVenue
+
+INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class RouteLeg:
+    """One step of an indoor route: walk inside ``partition`` from
+    ``start`` to ``end`` (``end`` is a door location except for the
+    final leg)."""
+
+    partition: PartitionId
+    start: Point
+    end: Point
+    distance: float
+
+
+@dataclass(frozen=True)
+class Route:
+    """A full indoor route with its total length and door sequence."""
+
+    legs: Tuple[RouteLeg, ...]
+    doors: Tuple[DoorId, ...]
+    distance: float
+
+    @property
+    def partitions(self) -> Tuple[PartitionId, ...]:
+        """Partition sequence the route walks through."""
+        return tuple(leg.partition for leg in self.legs)
+
+
+class PathService:
+    """Shortest indoor routes between located points and partitions."""
+
+    def __init__(self, venue: IndoorVenue, graph: Optional[DoorGraph] = None):
+        self.venue = venue
+        self.graph = graph if graph is not None else DoorGraph(venue)
+        self._trees: Dict[
+            DoorId, Tuple[Dict[DoorId, float], Dict[DoorId, DoorId]]
+        ] = {}
+
+    def _tree(self, source: DoorId):
+        tree = self._trees.get(source)
+        if tree is None:
+            tree = self.graph.dijkstra_with_paths(source)
+            self._trees[source] = tree
+        return tree
+
+    # ------------------------------------------------------------------
+    def door_sequence(
+        self, source: DoorId, target: DoorId
+    ) -> Tuple[float, List[DoorId]]:
+        """Shortest door sequence between two doors."""
+        if source == target:
+            return 0.0, [source]
+        dist, parent = self._tree(source)
+        if target not in dist:
+            return INFINITY, []
+        path = [target]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return dist[target], path
+
+    # ------------------------------------------------------------------
+    def route_to_partition(
+        self, client: Client, target: PartitionId
+    ) -> Route:
+        """The walking route from a client to a target partition.
+
+        The route ends at the target's entry door (consistent with the
+        library's ``iDist`` convention: reaching the partition means
+        reaching one of its doors).  Raises
+        :class:`UnreachableFacilityError` when no path exists.
+        """
+        if client.partition_id == target:
+            return Route(legs=(), doors=(), distance=0.0)
+        partition = self.venue.partition(client.partition_id)
+        best: Optional[Tuple[float, DoorId, DoorId]] = None
+        for exit_id in self.venue.doors_of(client.partition_id):
+            exit_door = self.venue.door(exit_id)
+            offset = partition.intra_distance(
+                client.location, exit_door.location
+            )
+            for target_door in self.venue.doors_of(target):
+                dist, _path = self.door_sequence(exit_id, target_door)
+                total = offset + dist
+                if best is None or total < best[0]:
+                    best = (total, exit_id, target_door)
+        if best is None or best[0] == INFINITY:
+            raise UnreachableFacilityError(
+                f"client {client.client_id} cannot reach partition "
+                f"{target}"
+            )
+        total, exit_id, target_door = best
+        _dist, door_path = self.door_sequence(exit_id, target_door)
+        return self._assemble(client, door_path, total)
+
+    def _assemble(
+        self, client: Client, door_path: List[DoorId], total: float
+    ) -> Route:
+        """Turn a door sequence into per-partition legs.
+
+        Each edge of the door path is walked through a partition both
+        doors belong to; when two doors share more than one partition
+        the cheaper crossing is chosen (matching the door graph's edge
+        weight).
+        """
+        first = self.venue.door(door_path[0])
+        start_partition = self.venue.partition(client.partition_id)
+        legs: List[RouteLeg] = [
+            RouteLeg(
+                partition=client.partition_id,
+                start=client.location,
+                end=first.location,
+                distance=start_partition.intra_distance(
+                    client.location, first.location
+                ),
+            )
+        ]
+        for a_id, b_id in zip(door_path, door_path[1:]):
+            a = self.venue.door(a_id)
+            b = self.venue.door(b_id)
+            shared = set(a.partitions()) & set(b.partitions())
+            if not shared:
+                raise UnreachableFacilityError(
+                    f"door path broken between {a_id} and {b_id}"
+                )
+            crossings = [
+                (
+                    self.venue.partition(pid).intra_distance(
+                        a.location, b.location
+                    ),
+                    pid,
+                )
+                for pid in shared
+            ]
+            distance, pid = min(crossings)
+            legs.append(
+                RouteLeg(
+                    partition=pid,
+                    start=a.location,
+                    end=b.location,
+                    distance=distance,
+                )
+            )
+        return Route(
+            legs=tuple(legs),
+            doors=tuple(door_path),
+            distance=total,
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self, route: Route) -> str:
+        """Human-readable route description for examples/CLI output."""
+        if not route.legs:
+            return "already there (distance 0)"
+        lines = [f"total distance: {route.distance:.2f} m"]
+        for leg in route.legs:
+            name = self.venue.partition(leg.partition).name
+            lines.append(
+                f"  through {name or leg.partition}: "
+                f"{leg.distance:.2f} m"
+            )
+        return "\n".join(lines)

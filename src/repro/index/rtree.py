@@ -1,0 +1,292 @@
+"""A from-scratch R-tree over partition rectangles.
+
+The composite indoor index the paper cites (Xie et al., ICDE'13) uses
+an R*-tree as its *geometric layer* to find the partition containing a
+point.  This module provides that layer: a quadratic-split R-tree over
+``(rect, value)`` entries with point, window, and nearest queries.
+It also backs :class:`PartitionLocator`, the fast point→partition
+lookup used where ``IndoorVenue.locate``'s linear scan would hurt.
+
+Per-level trees are kept separate (indoor floors do not overlap), which
+keeps the implementation planar and simple.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from ..indoor.geometry import Point, Rect
+from ..indoor.venue import IndoorVenue
+
+T = TypeVar("T")
+
+DEFAULT_MAX_ENTRIES = 8
+
+
+class _Node(Generic[T]):
+    __slots__ = ("rect", "children", "entries")
+
+    def __init__(self, leaf: bool) -> None:
+        self.rect: Optional[Rect] = None
+        self.children: List["_Node[T]"] = []
+        self.entries: List[Tuple[Rect, T]] = [] if leaf else None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for nodes holding entries rather than children."""
+        return self.entries is not None
+
+
+def _union(a: Optional[Rect], b: Rect) -> Rect:
+    return b if a is None else a.union(b)
+
+
+def _enlargement(current: Optional[Rect], addition: Rect) -> float:
+    if current is None:
+        return addition.area
+    grown = current.union(addition)
+    return grown.area - current.area
+
+
+def _intersects(a: Rect, b: Rect) -> bool:
+    return not (
+        a.max_x < b.min_x
+        or b.max_x < a.min_x
+        or a.max_y < b.min_y
+        or b.max_y < a.min_y
+    )
+
+
+class RTree(Generic[T]):
+    """A planar R-tree with quadratic node splits.
+
+    Not level-aware: callers with multi-storey data keep one tree per
+    level (see :class:`PartitionLocator`).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 4:
+            raise ValueError("max_entries must be >= 4")
+        self.max_entries = max_entries
+        self.min_entries = max(2, max_entries // 3)
+        self._root: _Node[T] = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, rect: Rect, value: T) -> None:
+        """Insert one ``(rect, value)`` entry."""
+        split = self._insert(self._root, rect, value)
+        if split is not None:
+            old_root = self._root
+            new_root: _Node[T] = _Node(leaf=False)
+            new_root.children = [old_root, split]
+            new_root.rect = old_root.rect.union(split.rect)
+            self._root = new_root
+        self._size += 1
+
+    def _insert(
+        self, node: _Node[T], rect: Rect, value: T
+    ) -> Optional[_Node[T]]:
+        node.rect = _union(node.rect, rect)
+        if node.is_leaf:
+            node.entries.append((rect, value))
+            if len(node.entries) > self.max_entries:
+                return self._split_leaf(node)
+            return None
+        best = min(
+            node.children,
+            key=lambda child: (
+                _enlargement(child.rect, rect),
+                child.rect.area if child.rect else 0.0,
+            ),
+        )
+        split = self._insert(best, rect, value)
+        if split is not None:
+            node.children.append(split)
+            if len(node.children) > self.max_entries:
+                return self._split_inner(node)
+        return None
+
+    @staticmethod
+    def _waste(a: Rect, b: Rect) -> float:
+        return a.union(b).area - a.area - b.area
+
+    def _split_leaf(self, node: _Node[T]) -> _Node[T]:
+        entries = node.entries
+        seeds = max(
+            itertools.combinations(range(len(entries)), 2),
+            key=lambda ij: self._waste(entries[ij[0]][0],
+                                       entries[ij[1]][0]),
+        )
+        group_a = [entries[seeds[0]]]
+        group_b = [entries[seeds[1]]]
+        rest = [
+            e for i, e in enumerate(entries) if i not in seeds
+        ]
+        rect_a, rect_b = group_a[0][0], group_b[0][0]
+        for entry in rest:
+            if _enlargement(rect_a, entry[0]) <= _enlargement(
+                rect_b, entry[0]
+            ):
+                group_a.append(entry)
+                rect_a = rect_a.union(entry[0])
+            else:
+                group_b.append(entry)
+                rect_b = rect_b.union(entry[0])
+        node.entries = group_a
+        node.rect = rect_a
+        sibling: _Node[T] = _Node(leaf=True)
+        sibling.entries = group_b
+        sibling.rect = rect_b
+        return sibling
+
+    def _split_inner(self, node: _Node[T]) -> _Node[T]:
+        children = node.children
+        seeds = max(
+            itertools.combinations(range(len(children)), 2),
+            key=lambda ij: self._waste(children[ij[0]].rect,
+                                       children[ij[1]].rect),
+        )
+        group_a = [children[seeds[0]]]
+        group_b = [children[seeds[1]]]
+        rest = [
+            c for i, c in enumerate(children) if i not in seeds
+        ]
+        rect_a, rect_b = group_a[0].rect, group_b[0].rect
+        for child in rest:
+            if _enlargement(rect_a, child.rect) <= _enlargement(
+                rect_b, child.rect
+            ):
+                group_a.append(child)
+                rect_a = rect_a.union(child.rect)
+            else:
+                group_b.append(child)
+                rect_b = rect_b.union(child.rect)
+        node.children = group_a
+        node.rect = rect_a
+        sibling: _Node[T] = _Node(leaf=False)
+        sibling.children = group_b
+        sibling.rect = rect_b
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_point(self, point: Point) -> Iterator[Tuple[Rect, T]]:
+        """All entries whose rect contains the (planar) point."""
+        probe = Rect(point.x, point.y, point.x, point.y)
+        yield from self.query_window(probe)
+
+    def query_window(self, window: Rect) -> Iterator[Tuple[Rect, T]]:
+        """All entries intersecting ``window``."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.rect is None or not _intersects(node.rect, window):
+                continue
+            if node.is_leaf:
+                for rect, value in node.entries:
+                    if _intersects(rect, window):
+                        yield rect, value
+            else:
+                stack.extend(node.children)
+
+    def nearest(self, point: Point) -> Optional[Tuple[Rect, T, float]]:
+        """The entry with minimum planar rect distance to ``point``."""
+        if self._size == 0:
+            return None
+        counter = itertools.count()
+        heap: List[Tuple[float, int, object]] = [
+            (0.0, next(counter), self._root)
+        ]
+        while heap:
+            dist, _tie, item = heapq.heappop(heap)
+            if isinstance(item, _Node):
+                if item.is_leaf:
+                    for rect, value in item.entries:
+                        heapq.heappush(
+                            heap,
+                            (
+                                rect.distance_to_point(point),
+                                next(counter),
+                                (rect, value),
+                            ),
+                        )
+                else:
+                    for child in item.children:
+                        if child.rect is not None:
+                            heapq.heappush(
+                                heap,
+                                (
+                                    child.rect.distance_to_point(point),
+                                    next(counter),
+                                    child,
+                                ),
+                            )
+            else:
+                rect, value = item
+                return rect, value, dist
+        return None
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaves."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            height += 1
+            node = node.children[0]
+        return height
+
+
+class PartitionLocator:
+    """Point → partition lookup via one R-tree per level.
+
+    The geometric layer of the composite indoor index: resolves which
+    partition contains a point in O(log n) instead of the venue's
+    linear scan.  Ties (shared walls) resolve to the smallest-area
+    partition, matching ``IndoorVenue.locate``.
+    """
+
+    def __init__(
+        self, venue: IndoorVenue, max_entries: int = DEFAULT_MAX_ENTRIES
+    ) -> None:
+        self.venue = venue
+        self._trees: Dict[int, RTree[int]] = {}
+        for partition in venue.partitions():
+            tree = self._trees.setdefault(
+                partition.level, RTree(max_entries=max_entries)
+            )
+            tree.insert(partition.rect, partition.partition_id)
+
+    def locate(self, point: Point) -> Optional[int]:
+        """The partition containing ``point`` (None when outside)."""
+        tree = self._trees.get(point.level)
+        if tree is None:
+            return None
+        hits = [
+            (rect.area, pid)
+            for rect, pid in tree.query_point(point)
+            if rect.contains(point)
+        ]
+        if not hits:
+            return None
+        return min(hits)[1]
+
+    def nearest_partition(self, point: Point) -> Optional[Tuple[int, float]]:
+        """Nearest partition on the point's level and its distance."""
+        tree = self._trees.get(point.level)
+        if tree is None:
+            return None
+        found = tree.nearest(point)
+        if found is None:
+            return None
+        _rect, pid, dist = found
+        return pid, dist

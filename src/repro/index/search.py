@@ -1,0 +1,103 @@
+"""Top-down VIP-tree facility search (nearest neighbour / range).
+
+This is the classic best-first traversal of Shao et al. that the paper's
+*baseline* uses: starting from the root, nodes are expanded in order of
+their lower-bound distance from the query client; facility partitions
+are emitted with exact distances.  The efficient IFLS algorithm does
+*not* use this module — it performs its own bottom-up traversal
+(:mod:`repro.core.efficient`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..indoor.entities import Client, PartitionId
+from .distance import VIPDistanceEngine
+
+_NODE = 1
+_FACILITY = 0
+
+
+class FacilitySearch:
+    """Best-first facility search for a fixed facility set.
+
+    The facility set is frozen at construction (it plays the role of the
+    paper's "VIP-tree indexing ``Fe``" / "indexing ``Fn``"): the tree
+    structure is shared, membership decides which partitions are emitted.
+    """
+
+    def __init__(
+        self,
+        engine: VIPDistanceEngine,
+        facilities: Iterable[PartitionId],
+    ) -> None:
+        self.engine = engine
+        self.tree = engine.tree
+        self.facilities = frozenset(facilities)
+
+    def iter_by_distance(
+        self, client: Client
+    ) -> Iterator[Tuple[PartitionId, float]]:
+        """Yield ``(facility_partition, iDist)`` in non-decreasing order."""
+        if not self.facilities:
+            return
+        counter = itertools.count()
+        root = self.tree.root
+        heap: List[Tuple[float, int, int, int]] = [
+            (
+                self.engine.point_min_dist_to_node(client, root),
+                next(counter),
+                _NODE,
+                root.node_id,
+            )
+        ]
+        while heap:
+            key, _tie, kind, ident = heapq.heappop(heap)
+            if key == float("inf"):
+                return
+            if kind == _FACILITY:
+                yield ident, key
+                continue
+            node = self.tree.node(ident)
+            if node.is_leaf:
+                for pid in node.partitions:
+                    if pid in self.facilities:
+                        dist = self.engine.idist(client, pid)
+                        heapq.heappush(
+                            heap, (dist, next(counter), _FACILITY, pid)
+                        )
+                continue
+            for child_id in node.child_node_ids:
+                child = self.tree.node(child_id)
+                bound = self.engine.point_min_dist_to_node(client, child)
+                if bound < float("inf"):
+                    heapq.heappush(
+                        heap, (bound, next(counter), _NODE, child_id)
+                    )
+
+    def nearest(
+        self, client: Client
+    ) -> Optional[Tuple[PartitionId, float]]:
+        """The client's nearest facility and its distance (None if none)."""
+        for pid, dist in self.iter_by_distance(client):
+            return pid, dist
+        return None
+
+    def within(
+        self, client: Client, radius: float, strict: bool = True
+    ) -> List[Tuple[PartitionId, float]]:
+        """Facilities with ``iDist < radius`` (or ``<=`` when not strict).
+
+        Sorted by distance.  ``strict`` mirrors the paper's baseline
+        candidate generation, which keeps candidates *closer than* the
+        client's nearest existing facility.
+        """
+        out: List[Tuple[PartitionId, float]] = []
+        for pid, dist in self.iter_by_distance(client):
+            if dist >= radius if strict else dist > radius:
+                break
+            out.append((pid, dist))
+        return out

@@ -1,0 +1,204 @@
+"""The VIP-tree index (Shao et al., PVLDB'16) over an indoor venue.
+
+The tree combines adjacent partitions bottom-up into nodes and stores
+distance matrices so that indoor distances become a handful of hash
+lookups:
+
+* **access-door rows** — exact door-graph distances from every access
+  door of every node to all doors.  These subsume the paper's leaf→
+  ancestor ("vivid") matrices and the non-leaf access-door matrices:
+  any entry of those matrices is one lookup in a row (see DESIGN.md,
+  "Substitutions").
+* **leaf-local matrices** — all-pairs door distances restricted to the
+  partitions of one leaf, used for same-leaf queries where the shortest
+  path never leaves the leaf.
+
+Distance queries never run Dijkstra; they combine matrix entries, which
+matches the query-time behaviour of the original index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import IndexError_
+from ..indoor.doorgraph import DoorGraph
+from ..indoor.entities import DoorId, PartitionId
+from ..indoor.venue import IndoorVenue
+from .construction import (
+    DEFAULT_FANOUT,
+    DEFAULT_LEAF_CAPACITY,
+    build_nodes,
+)
+from .node import NodeId, VIPNode
+
+
+class VIPTree:
+    """A VIP-tree with precomputed distance matrices.
+
+    Parameters
+    ----------
+    venue:
+        The indoor venue to index.
+    leaf_capacity:
+        Maximum number of partitions combined into one leaf node.
+    fanout:
+        Maximum number of children combined into one internal node.
+    graph:
+        Optional pre-built door graph (shared with other services).
+    """
+
+    def __init__(
+        self,
+        venue: IndoorVenue,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        fanout: int = DEFAULT_FANOUT,
+        graph: Optional[DoorGraph] = None,
+    ) -> None:
+        self.venue = venue
+        self.graph = graph if graph is not None else DoorGraph(venue)
+        self.nodes, self._leaf_of = build_nodes(
+            venue, leaf_capacity=leaf_capacity, fanout=fanout
+        )
+        roots = [n.node_id for n in self.nodes if n.parent_id is None]
+        if len(roots) != 1:
+            raise IndexError_(f"expected a single root, found {len(roots)}")
+        self.root_id: NodeId = roots[0]
+        self._leaf_index: Dict[NodeId, int] = {}
+        for node in self.nodes:
+            if node.is_leaf:
+                self._leaf_index[node.node_id] = node.leaf_lo
+        self.rows: Dict[DoorId, Dict[DoorId, float]] = {}
+        self.local: Dict[NodeId, Dict[Tuple[DoorId, DoorId], float]] = {}
+        self._door_leaf: Dict[DoorId, List[NodeId]] = {}
+        self._build_matrices()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_matrices(self) -> None:
+        access_doors = set()
+        for node in self.nodes:
+            access_doors.update(node.access_doors)
+        for door_id in sorted(access_doors):
+            self.rows[door_id] = self.graph.dijkstra(door_id)
+
+        for node in self.nodes:
+            if not node.is_leaf:
+                continue
+            allowed = frozenset(node.partitions)
+            matrix: Dict[Tuple[DoorId, DoorId], float] = {}
+            for door_id in node.doors:
+                self._door_leaf.setdefault(door_id, []).append(node.node_id)
+                for target, dist in self.graph.dijkstra(
+                    door_id, allowed_partitions=allowed
+                ).items():
+                    matrix[(door_id, target)] = dist
+            self.local[node.node_id] = matrix
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    def node(self, node_id: NodeId) -> VIPNode:
+        """Node by id."""
+        return self.nodes[node_id]
+
+    @property
+    def root(self) -> VIPNode:
+        """The single root node."""
+        return self.nodes[self.root_id]
+
+    def leaf_of(self, partition_id: PartitionId) -> VIPNode:
+        """The leaf node containing a partition."""
+        try:
+            return self.nodes[self._leaf_of[partition_id]]
+        except KeyError:
+            raise IndexError_(
+                f"partition {partition_id} is not indexed"
+            ) from None
+
+    def leaves(self) -> Iterator[VIPNode]:
+        """Iterate over leaf nodes."""
+        return (n for n in self.nodes if n.is_leaf)
+
+    def covers(self, node: VIPNode, partition_id: PartitionId) -> bool:
+        """O(1) test whether ``node``'s subtree contains a partition."""
+        leaf = self._leaf_of.get(partition_id)
+        if leaf is None:
+            return False
+        index = self._leaf_index[leaf]
+        return node.leaf_lo <= index < node.leaf_hi
+
+    def is_descendant(self, node: VIPNode, ancestor: VIPNode) -> bool:
+        """O(1) subtree containment test via leaf spans."""
+        return (
+            ancestor.leaf_lo <= node.leaf_lo
+            and node.leaf_hi <= ancestor.leaf_hi
+        )
+
+    @property
+    def height(self) -> int:
+        """Number of node levels (1 for a single-leaf tree)."""
+        return 1 + max(n.depth for n in self.nodes)
+
+    @property
+    def node_count(self) -> int:
+        """Total number of tree nodes."""
+        return len(self.nodes)
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaf nodes."""
+        return len(self._leaf_index)
+
+    def matrix_entry_count(self) -> int:
+        """Total stored distance-matrix entries (for memory reports)."""
+        entries = sum(len(row) for row in self.rows.values())
+        entries += sum(len(matrix) for matrix in self.local.values())
+        return entries
+
+    def access_door_count(self) -> int:
+        """Distinct access doors across all nodes (= stored rows)."""
+        return len(self.rows)
+
+    # ------------------------------------------------------------------
+    # Door-to-door distances (matrix lookups only)
+    # ------------------------------------------------------------------
+    def door_to_door(self, a: DoorId, b: DoorId) -> float:
+        """Exact shortest indoor distance between two doors.
+
+        Resolution order: direct access-door row; same-leaf local matrix
+        combined with a detour through the leaf's access doors; otherwise
+        the boundary decomposition min over the leaf's access doors
+        ``rows[x][a] + rows[x][b]`` (exact because any path out of the
+        leaf crosses an access door, and shortest-path subpaths are
+        shortest).
+        """
+        if a == b:
+            return 0.0
+        row = self.rows.get(a)
+        if row is not None:
+            return row.get(b, float("inf"))
+        row = self.rows.get(b)
+        if row is not None:
+            return row.get(a, float("inf"))
+        best = float("inf")
+        leaves_a = self._door_leaf.get(a, ())
+        leaves_b = set(self._door_leaf.get(b, ()))
+        shared = [leaf for leaf in leaves_a if leaf in leaves_b]
+        if shared:
+            for leaf_id in shared:
+                inside = self.local[leaf_id].get((a, b))
+                if inside is not None and inside < best:
+                    best = inside
+        if not leaves_a:
+            raise IndexError_(f"door {a} is not indexed")
+        for x in self.nodes[leaves_a[0]].access_doors:
+            row_x = self.rows[x]
+            da = row_x.get(a)
+            db = row_x.get(b)
+            if da is None or db is None:
+                continue
+            if da + db < best:
+                best = da + db
+        return best

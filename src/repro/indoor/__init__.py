@@ -1,0 +1,62 @@
+"""Indoor space substrate: geometry, venues, door graph, exact
+distances, serialisation, and floor-plan rendering."""
+
+from .analysis import VenueStats, analyse_venue, compare_to_paper
+from .builder import VenueBuilder
+from .distance import DistanceService
+from .doorgraph import INFINITY, DoorGraph
+from .entities import (
+    Client,
+    ClientId,
+    Door,
+    DoorId,
+    FacilitySets,
+    Partition,
+    PartitionId,
+    PartitionKind,
+)
+from .geometry import Point, Rect, midpoint
+from .io import (
+    load_venue,
+    load_workload,
+    save_venue,
+    save_workload,
+    venue_from_dict,
+    venue_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from .render import FloorPlanRenderer, render_result
+from .venue import IndoorVenue
+
+__all__ = [
+    "analyse_venue",
+    "compare_to_paper",
+    "VenueStats",
+    "Client",
+    "ClientId",
+    "DistanceService",
+    "Door",
+    "DoorGraph",
+    "DoorId",
+    "FacilitySets",
+    "INFINITY",
+    "IndoorVenue",
+    "midpoint",
+    "Partition",
+    "PartitionId",
+    "PartitionKind",
+    "Point",
+    "Rect",
+    "VenueBuilder",
+    "FloorPlanRenderer",
+    "load_venue",
+    "load_workload",
+    "render_result",
+    "save_venue",
+    "save_workload",
+    "venue_from_dict",
+    "venue_to_dict",
+    "workload_from_dict",
+    "workload_to_dict",
+]

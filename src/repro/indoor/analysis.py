@@ -1,0 +1,93 @@
+"""Venue analysis: descriptive statistics of an indoor space.
+
+Used by ``ifls info`` and handy when preparing reproductions: the
+paper's venue descriptions boil down to exactly these numbers (levels,
+partitions, doors, degree profile, footprint).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .entities import PartitionKind
+from .venue import IndoorVenue
+
+
+@dataclass(frozen=True)
+class VenueStats:
+    """Summary statistics of a venue."""
+
+    name: str
+    partitions: int
+    doors: int
+    levels: int
+    kind_counts: Tuple[Tuple[str, int], ...]
+    partitions_per_level: Tuple[Tuple[int, int], ...]
+    door_degree_histogram: Tuple[Tuple[int, int], ...]
+    mean_doors_per_partition: float
+    exterior_doors: int
+    footprint: Tuple[float, float]
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"venue: {self.name}",
+            f"partitions: {self.partitions} over {self.levels} level(s)",
+            f"doors: {self.doors} ({self.exterior_doors} exterior)",
+            "kinds: "
+            + ", ".join(f"{kind}={count}"
+                        for kind, count in self.kind_counts),
+            f"footprint: {self.footprint[0]:.0f} x "
+            f"{self.footprint[1]:.0f} m",
+            f"mean doors per partition: "
+            f"{self.mean_doors_per_partition:.2f}",
+            "door-degree histogram (doors-per-partition: partitions): "
+            + ", ".join(f"{deg}: {count}"
+                        for deg, count in self.door_degree_histogram),
+        ]
+        return "\n".join(lines)
+
+
+def analyse_venue(venue: IndoorVenue) -> VenueStats:
+    """Compute :class:`VenueStats` for a venue."""
+    kind_counter: Counter = Counter(
+        partition.kind.value for partition in venue.partitions()
+    )
+    per_level: Dict[int, int] = {
+        level: len(venue.partitions_on_level(level))
+        for level in venue.levels
+    }
+    degree_counter: Counter = Counter(
+        len(venue.doors_of(pid)) for pid in venue.partition_ids()
+    )
+    exterior = sum(1 for door in venue.doors() if door.is_exterior)
+    bounds = venue.bounding_rect()
+    total_degree = sum(
+        degree * count for degree, count in degree_counter.items()
+    )
+    return VenueStats(
+        name=venue.name,
+        partitions=venue.partition_count,
+        doors=venue.door_count,
+        levels=len(venue.levels),
+        kind_counts=tuple(sorted(kind_counter.items())),
+        partitions_per_level=tuple(sorted(per_level.items())),
+        door_degree_histogram=tuple(sorted(degree_counter.items())),
+        mean_doors_per_partition=(
+            total_degree / venue.partition_count
+        ),
+        exterior_doors=exterior,
+        footprint=(bounds.width, bounds.height),
+    )
+
+
+def compare_to_paper(
+    venue: IndoorVenue, expected_partitions: int, expected_doors: int
+) -> Dict[str, bool]:
+    """Check a venue against published statistics (used in tests)."""
+    return {
+        "partitions_match": venue.partition_count == expected_partitions,
+        "doors_match": venue.door_count == expected_doors,
+    }

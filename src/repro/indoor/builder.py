@@ -1,0 +1,198 @@
+"""Incremental construction of :class:`~repro.indoor.venue.IndoorVenue`.
+
+The builder assigns ids, keeps the partial topology mutable, and
+produces a validated immutable venue via :meth:`VenueBuilder.build`.
+Dataset generators and tests use it so that hand-written venues stay
+short and readable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import VenueError
+from .entities import Door, DoorId, Partition, PartitionId, PartitionKind
+from .geometry import Point, Rect, midpoint
+from .venue import IndoorVenue
+
+
+class VenueBuilder:
+    """Assemble an indoor venue partition by partition.
+
+    Example
+    -------
+    >>> builder = VenueBuilder("demo")
+    >>> room = builder.add_room(Rect(0, 0, 5, 5))
+    >>> hall = builder.add_corridor(Rect(5, 0, 20, 5))
+    >>> _ = builder.connect(room, hall)
+    >>> venue = builder.build()
+    >>> venue.partition_count, venue.door_count
+    (2, 1)
+    """
+
+    def __init__(self, name: str = "venue") -> None:
+        self.name = name
+        self._partitions: List[Partition] = []
+        self._doors: List[Door] = []
+        self._next_partition_id: PartitionId = 0
+        self._next_door_id: DoorId = 0
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def add_partition(
+        self,
+        rect: Rect,
+        kind: PartitionKind = PartitionKind.ROOM,
+        name: str = "",
+        category: Optional[str] = None,
+        stair_length: float = 0.0,
+    ) -> PartitionId:
+        """Add a partition and return its id."""
+        pid = self._next_partition_id
+        self._next_partition_id += 1
+        self._partitions.append(
+            Partition(
+                partition_id=pid,
+                rect=rect,
+                kind=kind,
+                name=name or f"{kind}-{pid}",
+                category=category,
+                stair_length=stair_length,
+            )
+        )
+        return pid
+
+    def add_room(
+        self, rect: Rect, name: str = "", category: Optional[str] = None
+    ) -> PartitionId:
+        """Add a room partition."""
+        return self.add_partition(
+            rect, PartitionKind.ROOM, name=name, category=category
+        )
+
+    def add_corridor(self, rect: Rect, name: str = "") -> PartitionId:
+        """Add a corridor partition."""
+        return self.add_partition(rect, PartitionKind.CORRIDOR, name=name)
+
+    def add_hall(self, rect: Rect, name: str = "") -> PartitionId:
+        """Add a hall partition."""
+        return self.add_partition(rect, PartitionKind.HALL, name=name)
+
+    def add_staircase(
+        self, rect: Rect, stair_length: float, name: str = ""
+    ) -> PartitionId:
+        """Add a staircase whose footprint sits on the *lower* level.
+
+        ``stair_length`` is the walking distance between its lower-level
+        and upper-level doors.
+        """
+        if stair_length <= 0:
+            raise VenueError("stair_length must be positive")
+        return self.add_partition(
+            rect, PartitionKind.STAIRCASE, name=name, stair_length=stair_length
+        )
+
+    # ------------------------------------------------------------------
+    # Doors
+    # ------------------------------------------------------------------
+    def add_door(
+        self,
+        location: Point,
+        partition_a: PartitionId,
+        partition_b: Optional[PartitionId] = None,
+        name: str = "",
+    ) -> DoorId:
+        """Add a door at an explicit location."""
+        did = self._next_door_id
+        self._next_door_id += 1
+        self._doors.append(
+            Door(
+                door_id=did,
+                location=location,
+                partition_a=partition_a,
+                partition_b=partition_b,
+                name=name or f"door-{did}",
+            )
+        )
+        return did
+
+    def connect(
+        self,
+        partition_a: PartitionId,
+        partition_b: PartitionId,
+        at: Optional[Point] = None,
+        name: str = "",
+    ) -> DoorId:
+        """Add a door between two partitions.
+
+        When ``at`` is omitted the door is placed at the midpoint of the
+        two footprint centres clamped onto the shared boundary region —
+        good enough for generated venues where partitions share a wall.
+        """
+        if at is None:
+            rect_a = self._partition(partition_a).rect
+            rect_b = self._partition(partition_b).rect
+            guess = midpoint(rect_a.center, rect_b.center)
+            at = rect_a.clamp(rect_b.clamp(guess))
+        return self.add_door(at, partition_a, partition_b, name=name)
+
+    def connect_levels(
+        self,
+        lower: PartitionId,
+        upper: PartitionId,
+        at: Point,
+        stair_length: float,
+        name: str = "",
+    ) -> PartitionId:
+        """Insert a staircase partition between two partitions on
+        consecutive levels and wire both of its doors.
+
+        ``at`` is the planar position of the stairwell; the footprint is
+        a 2x2 m square on the lower level.  Returns the staircase's
+        partition id.
+        """
+        lower_level = self._partition(lower).level
+        upper_level = self._partition(upper).level
+        if upper_level != lower_level + 1:
+            raise VenueError(
+                f"connect_levels expects consecutive levels, got "
+                f"{lower_level} and {upper_level}"
+            )
+        rect = Rect(at.x - 1.0, at.y - 1.0, at.x + 1.0, at.y + 1.0, lower_level)
+        stair = self.add_staircase(rect, stair_length, name=name or "stair")
+        self.add_door(
+            Point(at.x, at.y, lower_level), lower, stair,
+            name=f"{name or 'stair'}-lower",
+        )
+        self.add_door(
+            Point(at.x, at.y, upper_level), upper, stair,
+            name=f"{name or 'stair'}-upper",
+        )
+        return stair
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def _partition(self, pid: PartitionId) -> Partition:
+        try:
+            return self._partitions[pid]
+        except IndexError:
+            raise VenueError(f"unknown partition id {pid}") from None
+
+    @property
+    def partition_count(self) -> int:
+        """Partitions added so far."""
+        return len(self._partitions)
+
+    @property
+    def door_count(self) -> int:
+        """Doors added so far."""
+        return len(self._doors)
+
+    def build(self, validate: bool = True) -> IndoorVenue:
+        """Produce the immutable venue (validated by default)."""
+        venue = IndoorVenue(self._partitions, self._doors, name=self.name)
+        if validate:
+            venue.validate()
+        return venue

@@ -1,0 +1,140 @@
+"""Exact indoor distance service backed by door-graph Dijkstra.
+
+This is the *ground truth* distance oracle: simple, exact, and O(graph)
+per uncached source door.  The VIP-tree engine in :mod:`repro.index`
+computes the same quantities from its matrices and is property-tested
+against this service.
+
+Distance conventions (paper Section 5.3.1):
+
+* movement inside a partition is free, so the distance between two
+  points in the same partition is the intra-partition distance;
+* the distance between a *partition* and its own doors is 0 (a whole
+  partition "touches" its doors), whereas the distance between a point
+  and a door of its partition is the positive intra-partition distance;
+* ``iDist(c, p)`` — client to partition — is 0 when the client is inside
+  ``p`` and otherwise the length of the shortest door path that reaches
+  any door of ``p``;
+* ``iMinD(p, q)`` — partition to partition — is the door-to-door lower
+  bound with zero offsets on both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import UnknownEntityError
+from .doorgraph import INFINITY, DoorGraph
+from .entities import DoorId, PartitionId
+from .geometry import Point
+from .venue import IndoorVenue
+
+
+class DistanceService:
+    """Exact indoor distances with per-door memoised Dijkstra rows."""
+
+    def __init__(self, venue: IndoorVenue, graph: Optional[DoorGraph] = None):
+        self.venue = venue
+        self.graph = graph if graph is not None else DoorGraph(venue)
+        self._rows: Dict[DoorId, Dict[DoorId, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Door-level distances
+    # ------------------------------------------------------------------
+    def _row(self, door_id: DoorId) -> Dict[DoorId, float]:
+        row = self._rows.get(door_id)
+        if row is None:
+            row = self.graph.dijkstra(door_id)
+            self._rows[door_id] = row
+        return row
+
+    def door_to_door(self, a: DoorId, b: DoorId) -> float:
+        """Shortest indoor distance between two doors (inf if unreachable)."""
+        if a == b:
+            return 0.0
+        # Reuse whichever row is already cached to avoid extra Dijkstras.
+        if b in self._rows and a not in self._rows:
+            return self._rows[b].get(a, INFINITY)
+        return self._row(a).get(b, INFINITY)
+
+    # ------------------------------------------------------------------
+    # Point-level distances
+    # ------------------------------------------------------------------
+    def point_to_door(
+        self, point: Point, partition_id: PartitionId, door_id: DoorId
+    ) -> float:
+        """Distance from a point inside ``partition_id`` to any door.
+
+        The point must leave through one of its partition's doors unless
+        the target door already belongs to the partition.
+        """
+        partition = self.venue.partition(partition_id)
+        target = self.venue.door(door_id)
+        best = INFINITY
+        if partition_id in target.partitions():
+            best = partition.intra_distance(point, target.location)
+        for exit_id in self.venue.doors_of(partition_id):
+            exit_door = self.venue.door(exit_id)
+            offset = partition.intra_distance(point, exit_door.location)
+            if offset >= best:
+                continue
+            via = offset + self.door_to_door(exit_id, door_id)
+            if via < best:
+                best = via
+        return best
+
+    def point_to_point(
+        self,
+        a: Point,
+        a_partition: PartitionId,
+        b: Point,
+        b_partition: PartitionId,
+    ) -> float:
+        """Shortest indoor distance between two located points."""
+        if a_partition == b_partition:
+            return self.venue.partition(a_partition).intra_distance(a, b)
+        partition_b = self.venue.partition(b_partition)
+        best = INFINITY
+        for door_id in self.venue.doors_of(b_partition):
+            door = self.venue.door(door_id)
+            tail = partition_b.intra_distance(b, door.location)
+            if tail >= best:
+                continue
+            total = self.point_to_door(a, a_partition, door_id) + tail
+            if total < best:
+                best = total
+        return best
+
+    def point_to_partition(
+        self, point: Point, point_partition: PartitionId, target: PartitionId
+    ) -> float:
+        """``iDist(c, p)``: 0 inside, else shortest path to a door of ``p``."""
+        if point_partition == target:
+            return 0.0
+        if target not in set(self.venue.partition_ids()):
+            raise UnknownEntityError("partition", target)
+        best = INFINITY
+        for door_id in self.venue.doors_of(target):
+            d = self.point_to_door(point, point_partition, door_id)
+            if d < best:
+                best = d
+        return best
+
+    # ------------------------------------------------------------------
+    # Partition-level distances
+    # ------------------------------------------------------------------
+    def partition_to_partition(
+        self, a: PartitionId, b: PartitionId
+    ) -> float:
+        """``iMinD(p, q)`` between two partitions (0 when equal/adjacent
+        through a shared door)."""
+        if a == b:
+            return 0.0
+        best = INFINITY
+        doors_b = self.venue.doors_of(b)
+        for door_a in self.venue.doors_of(a):
+            for door_b in doors_b:
+                d = self.door_to_door(door_a, door_b)
+                if d < best:
+                    best = d
+        return best

@@ -1,0 +1,154 @@
+"""The door graph (Yang et al., EDBT'10) of an indoor venue.
+
+Vertices are doors; an undirected edge connects two doors that belong to
+the same partition, weighted by the intra-partition walking distance
+between them.  Shortest door-to-door paths on this graph are exactly the
+indoor shortest distances between doors, and serve as the ground truth
+the VIP-tree is tested against.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import UnknownEntityError
+from .entities import DoorId, PartitionId
+from .venue import IndoorVenue
+
+INFINITY = float("inf")
+
+
+class DoorGraph:
+    """Weighted undirected graph over the doors of a venue.
+
+    Construction is O(sum over partitions of doors^2); the per-door
+    adjacency lists are plain ``(neighbour, weight, partition)`` tuples
+    so Dijkstra runs allocation-free apart from the heap.
+    """
+
+    def __init__(self, venue: IndoorVenue) -> None:
+        self.venue = venue
+        self._adjacency: Dict[
+            DoorId, List[Tuple[DoorId, float, PartitionId]]
+        ] = {door_id: [] for door_id in venue.door_ids()}
+        for partition in venue.partitions():
+            door_ids = venue.doors_of(partition.partition_id)
+            for i, a in enumerate(door_ids):
+                loc_a = venue.door(a).location
+                for b in door_ids[i + 1:]:
+                    weight = partition.intra_distance(
+                        loc_a, venue.door(b).location
+                    )
+                    self._adjacency[a].append(
+                        (b, weight, partition.partition_id)
+                    )
+                    self._adjacency[b].append(
+                        (a, weight, partition.partition_id)
+                    )
+
+    @property
+    def door_count(self) -> int:
+        """Number of vertices (doors)."""
+        return len(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(edges) for edges in self._adjacency.values()) // 2
+
+    def edges_of(
+        self, door_id: DoorId
+    ) -> Sequence[Tuple[DoorId, float, PartitionId]]:
+        """Adjacency list of one door: (neighbour, weight, partition)."""
+        try:
+            return self._adjacency[door_id]
+        except KeyError:
+            raise UnknownEntityError("door", door_id) from None
+
+    # ------------------------------------------------------------------
+    # Shortest paths
+    # ------------------------------------------------------------------
+    def dijkstra(
+        self,
+        source: DoorId,
+        targets: Optional[Iterable[DoorId]] = None,
+        allowed_partitions: Optional[frozenset] = None,
+    ) -> Dict[DoorId, float]:
+        """Single-source shortest distances from ``source``.
+
+        ``targets`` (when given) allows early termination once every
+        target has been settled.  ``allowed_partitions`` restricts the
+        walk to edges through the given partitions — used to compute the
+        VIP-tree's *local* (within-leaf) matrices.
+        """
+        if source not in self._adjacency:
+            raise UnknownEntityError("door", source)
+        remaining = set(targets) if targets is not None else None
+        dist: Dict[DoorId, float] = {source: 0.0}
+        settled: Dict[DoorId, float] = {}
+        heap: List[Tuple[float, DoorId]] = [(0.0, source)]
+        while heap:
+            d, door = heapq.heappop(heap)
+            if door in settled:
+                continue
+            settled[door] = d
+            if remaining is not None:
+                remaining.discard(door)
+                if not remaining:
+                    break
+            for neighbour, weight, partition_id in self._adjacency[door]:
+                if (
+                    allowed_partitions is not None
+                    and partition_id not in allowed_partitions
+                ):
+                    continue
+                candidate = d + weight
+                if candidate < dist.get(neighbour, INFINITY):
+                    dist[neighbour] = candidate
+                    heapq.heappush(heap, (candidate, neighbour))
+        return settled
+
+    def dijkstra_with_paths(
+        self, source: DoorId
+    ) -> Tuple[Dict[DoorId, float], Dict[DoorId, DoorId]]:
+        """Like :meth:`dijkstra` but also returns predecessor doors.
+
+        Used to extract explicit door sequences (e.g. first-hop
+        information for VIP-tree matrices and path reconstruction in
+        examples).
+        """
+        if source not in self._adjacency:
+            raise UnknownEntityError("door", source)
+        dist: Dict[DoorId, float] = {source: 0.0}
+        parent: Dict[DoorId, DoorId] = {}
+        settled: Dict[DoorId, float] = {}
+        heap: List[Tuple[float, DoorId]] = [(0.0, source)]
+        while heap:
+            d, door = heapq.heappop(heap)
+            if door in settled:
+                continue
+            settled[door] = d
+            for neighbour, weight, _pid in self._adjacency[door]:
+                candidate = d + weight
+                if candidate < dist.get(neighbour, INFINITY):
+                    dist[neighbour] = candidate
+                    parent[neighbour] = door
+                    heapq.heappush(heap, (candidate, neighbour))
+        return settled, parent
+
+    def shortest_path(
+        self, source: DoorId, target: DoorId
+    ) -> Tuple[float, List[DoorId]]:
+        """Distance and door sequence from ``source`` to ``target``.
+
+        Returns ``(inf, [])`` when unreachable.
+        """
+        dist, parent = self.dijkstra_with_paths(source)
+        if target not in dist:
+            return INFINITY, []
+        path = [target]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return dist[target], path

@@ -1,0 +1,142 @@
+"""Planar geometry primitives used by the indoor space model.
+
+Indoor venues are modelled on a per-level basis: every geometric object
+carries an integer ``level`` (floor number).  Within a level, coordinates
+are metres in the plane.  Movement inside a partition is free (Euclidean);
+movement between levels happens only through staircase partitions, whose
+traversal cost is a fixed stair length rather than a planar distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A location inside an indoor venue.
+
+    ``x`` and ``y`` are planar coordinates in metres; ``level`` is the
+    floor the point lies on.  Points are immutable and hashable so they
+    can be used as dictionary keys (e.g. memoised distances).
+    """
+
+    x: float
+    y: float
+    level: int = 0
+
+    def planar_distance(self, other: "Point") -> float:
+        """Euclidean distance ignoring the level.
+
+        Only meaningful when both points lie in the same partition (free
+        movement); callers are responsible for that invariant.
+        """
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def offset(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)`` on the same level."""
+        return Point(self.x + dx, self.y + dy, self.level)
+
+    def as_tuple(self) -> Tuple[float, float, int]:
+        """Return ``(x, y, level)`` for serialisation."""
+        return (self.x, self.y, self.level)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle on one level (a partition footprint)."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+    level: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"degenerate rect: ({self.min_x},{self.min_y})-"
+                f"({self.max_x},{self.max_y})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Extent in x (metres)."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent in y (metres)."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Footprint area (square metres)."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Centre point of the rect, on the rect's level."""
+        return Point(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+            self.level,
+        )
+
+    def contains(self, point: Point, *, tolerance: float = 1e-9) -> bool:
+        """True when ``point`` lies inside the rect (same level)."""
+        if point.level != self.level:
+            return False
+        return (
+            self.min_x - tolerance <= point.x <= self.max_x + tolerance
+            and self.min_y - tolerance <= point.y <= self.max_y + tolerance
+        )
+
+    def clamp(self, point: Point) -> Point:
+        """Project ``point`` onto the rect (keeping the rect's level)."""
+        return Point(
+            min(max(point.x, self.min_x), self.max_x),
+            min(max(point.y, self.min_y), self.max_y),
+            self.level,
+        )
+
+    def distance_to_point(self, point: Point) -> float:
+        """Planar distance from the rect boundary/interior to ``point``.
+
+        Returns ``0.0`` for points inside the rect.  Levels are ignored;
+        use only for same-level reasoning or visualisation.
+        """
+        dx = max(self.min_x - point.x, 0.0, point.x - self.max_x)
+        dy = max(self.min_y - point.y, 0.0, point.y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rect covering both (levels must match for geometry;
+        cross-level unions keep this rect's level and are used only for
+        display bounding boxes)."""
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+            self.level,
+        )
+
+    def sample_grid(self, nx: int, ny: int) -> Iterator[Point]:
+        """Yield an ``nx`` x ``ny`` grid of interior points (for tests)."""
+        for i in range(nx):
+            for j in range(ny):
+                fx = (i + 0.5) / nx
+                fy = (j + 0.5) / ny
+                yield Point(
+                    self.min_x + fx * self.width,
+                    self.min_y + fy * self.height,
+                    self.level,
+                )
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Midpoint of two points on the same level."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0, a.level)

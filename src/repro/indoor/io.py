@@ -1,0 +1,203 @@
+"""JSON (de)serialisation of venues, clients, and facility sets.
+
+A venue built once (by hand or from a generator) can be persisted and
+reloaded without rebuilding, and workloads can be stored next to
+benchmark results for exact reproduction.  The format is a plain JSON
+document with a ``format`` version marker::
+
+    {
+      "format": "repro-venue/1",
+      "name": "...",
+      "partitions": [{"id": 0, "rect": [x0, y0, x1, y1, level],
+                      "kind": "room", "name": "...", "category": null,
+                      "stair_length": 0.0}, ...],
+      "doors": [{"id": 0, "location": [x, y, level], "a": 0, "b": 1,
+                 "name": "..."}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import VenueError
+from .entities import (
+    Client,
+    Door,
+    FacilitySets,
+    Partition,
+    PartitionKind,
+)
+from .geometry import Point, Rect
+from .venue import IndoorVenue
+
+VENUE_FORMAT = "repro-venue/1"
+WORKLOAD_FORMAT = "repro-workload/1"
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Venue
+# ---------------------------------------------------------------------------
+def venue_to_dict(venue: IndoorVenue) -> Dict:
+    """Serialise a venue to a JSON-compatible dictionary."""
+    partitions = []
+    for partition in venue.partitions():
+        rect = partition.rect
+        partitions.append(
+            {
+                "id": partition.partition_id,
+                "rect": [rect.min_x, rect.min_y, rect.max_x,
+                         rect.max_y, rect.level],
+                "kind": partition.kind.value,
+                "name": partition.name,
+                "category": partition.category,
+                "stair_length": partition.stair_length,
+            }
+        )
+    doors = []
+    for door in venue.doors():
+        location = door.location
+        doors.append(
+            {
+                "id": door.door_id,
+                "location": [location.x, location.y, location.level],
+                "a": door.partition_a,
+                "b": door.partition_b,
+                "name": door.name,
+            }
+        )
+    return {
+        "format": VENUE_FORMAT,
+        "name": venue.name,
+        "partitions": partitions,
+        "doors": doors,
+    }
+
+
+def venue_from_dict(data: Dict, validate: bool = True) -> IndoorVenue:
+    """Rebuild a venue from :func:`venue_to_dict` output."""
+    if data.get("format") != VENUE_FORMAT:
+        raise VenueError(
+            f"unsupported venue format {data.get('format')!r}; "
+            f"expected {VENUE_FORMAT}"
+        )
+    partitions: List[Partition] = []
+    for entry in data["partitions"]:
+        x0, y0, x1, y1, level = entry["rect"]
+        partitions.append(
+            Partition(
+                partition_id=int(entry["id"]),
+                rect=Rect(x0, y0, x1, y1, int(level)),
+                kind=PartitionKind(entry["kind"]),
+                name=entry.get("name", ""),
+                category=entry.get("category"),
+                stair_length=float(entry.get("stair_length", 0.0)),
+            )
+        )
+    doors: List[Door] = []
+    for entry in data["doors"]:
+        x, y, level = entry["location"]
+        b = entry.get("b")
+        doors.append(
+            Door(
+                door_id=int(entry["id"]),
+                location=Point(x, y, int(level)),
+                partition_a=int(entry["a"]),
+                partition_b=None if b is None else int(b),
+                name=entry.get("name", ""),
+            )
+        )
+    venue = IndoorVenue(partitions, doors, name=data.get("name", "venue"))
+    if validate:
+        venue.validate()
+    return venue
+
+
+def save_venue(venue: IndoorVenue, path: PathLike) -> None:
+    """Write a venue to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(venue_to_dict(venue), handle, indent=1)
+
+
+def load_venue(path: PathLike, validate: bool = True) -> IndoorVenue:
+    """Read a venue from a JSON file."""
+    with open(path) as handle:
+        return venue_from_dict(json.load(handle), validate=validate)
+
+
+# ---------------------------------------------------------------------------
+# Workloads (clients + facility sets)
+# ---------------------------------------------------------------------------
+def workload_to_dict(
+    clients: Sequence[Client],
+    facilities: Optional[FacilitySets] = None,
+) -> Dict:
+    """Serialise a workload (clients and optional facility sets)."""
+    out: Dict = {
+        "format": WORKLOAD_FORMAT,
+        "clients": [
+            {
+                "id": c.client_id,
+                "location": [c.location.x, c.location.y,
+                             c.location.level],
+                "partition": c.partition_id,
+            }
+            for c in clients
+        ],
+    }
+    if facilities is not None:
+        out["existing"] = sorted(facilities.existing)
+        out["candidates"] = sorted(facilities.candidates)
+    return out
+
+
+def workload_from_dict(data: Dict):
+    """Rebuild ``(clients, facilities_or_None)`` from a workload dict."""
+    if data.get("format") != WORKLOAD_FORMAT:
+        raise VenueError(
+            f"unsupported workload format {data.get('format')!r}; "
+            f"expected {WORKLOAD_FORMAT}"
+        )
+    clients = [
+        Client(
+            int(entry["id"]),
+            Point(
+                entry["location"][0],
+                entry["location"][1],
+                int(entry["location"][2]),
+            ),
+            int(entry["partition"]),
+        )
+        for entry in data["clients"]
+    ]
+    facilities = None
+    if "existing" in data or "candidates" in data:
+        facilities = FacilitySets(
+            frozenset(data.get("existing", ())),
+            frozenset(data.get("candidates", ())),
+        )
+    return clients, facilities
+
+
+def save_workload(
+    clients: Sequence[Client],
+    path: PathLike,
+    facilities: Optional[FacilitySets] = None,
+) -> None:
+    """Write a workload to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(workload_to_dict(clients, facilities), handle, indent=1)
+
+
+def load_workload(path: PathLike):
+    """Read ``(clients, facilities_or_None)`` from a JSON file."""
+    with open(path) as handle:
+        return workload_from_dict(json.load(handle))

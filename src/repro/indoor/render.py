@@ -1,0 +1,161 @@
+"""ASCII rendering of indoor floor plans.
+
+Debug/teaching aid used by the examples and the CLI: draws one level of
+a venue as a character grid with partition outlines, doors, clients,
+and facilities.  Rendering is intentionally approximate (rectangles
+snapped to a character raster), never used by any algorithm.
+
+Legend::
+
+    +--+   partition outline        D  door
+    .      client                   E  existing facility partition
+    N      candidate partition      A  answer partition
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .entities import Client, PartitionId
+from .venue import IndoorVenue
+
+DOOR_MARK = "D"
+CLIENT_MARK = "."
+EXISTING_MARK = "E"
+CANDIDATE_MARK = "N"
+ANSWER_MARK = "A"
+
+
+class FloorPlanRenderer:
+    """Render venue levels to fixed-width text."""
+
+    def __init__(
+        self,
+        venue: IndoorVenue,
+        width: int = 100,
+        height: int = 30,
+    ) -> None:
+        if width < 10 or height < 5:
+            raise ValueError("render raster too small")
+        self.venue = venue
+        self.width = width
+        self.height = height
+
+    # ------------------------------------------------------------------
+    def render_level(
+        self,
+        level: int,
+        clients: Sequence[Client] = (),
+        existing: Iterable[PartitionId] = (),
+        candidates: Iterable[PartitionId] = (),
+        answer: Optional[PartitionId] = None,
+        labels: bool = False,
+    ) -> str:
+        """Render one level; markers overwrite outlines in draw order."""
+        bounds = self.venue.bounding_rect(level)
+        scale_x = (self.width - 1) / max(bounds.width, 1e-9)
+        scale_y = (self.height - 1) / max(bounds.height, 1e-9)
+
+        def to_cell(x: float, y: float):
+            cx = int(round((x - bounds.min_x) * scale_x))
+            cy = int(round((bounds.max_y - y) * scale_y))
+            return (
+                min(max(cx, 0), self.width - 1),
+                min(max(cy, 0), self.height - 1),
+            )
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        existing = set(existing)
+        candidates = set(candidates)
+        for pid in self.venue.partitions_on_level(level):
+            rect = self.venue.partition(pid).rect
+            x0, y1 = to_cell(rect.min_x, rect.min_y)
+            x1, y0 = to_cell(rect.max_x, rect.max_y)
+            for x in range(x0, x1 + 1):
+                grid[y0][x] = "-"
+                grid[y1][x] = "-"
+            for y in range(y0, y1 + 1):
+                grid[y][x0] = "|"
+                grid[y][x1] = "|"
+            for cx, cy in ((x0, y0), (x0, y1), (x1, y0), (x1, y1)):
+                grid[cy][cx] = "+"
+            mark = None
+            if pid == answer:
+                mark = ANSWER_MARK
+            elif pid in existing:
+                mark = EXISTING_MARK
+            elif pid in candidates:
+                mark = CANDIDATE_MARK
+            if mark or labels:
+                mx, my = to_cell(rect.center.x, rect.center.y)
+                if mark:
+                    grid[my][mx] = mark
+                if labels:
+                    text = str(pid)
+                    for offset, char in enumerate(text):
+                        x = mx + 1 + offset
+                        if x < self.width:
+                            grid[my][x] = char
+
+        for client in clients:
+            if client.location.level != level:
+                continue
+            cx, cy = to_cell(client.location.x, client.location.y)
+            if grid[cy][cx] == " ":
+                grid[cy][cx] = CLIENT_MARK
+
+        for door in self.venue.doors():
+            if door.location.level != level:
+                continue
+            cx, cy = to_cell(door.location.x, door.location.y)
+            grid[cy][cx] = DOOR_MARK
+
+        lines = ["".join(row).rstrip() for row in grid]
+        header = f"level {level} ({self.venue.name})"
+        return "\n".join([header] + lines)
+
+    def render(
+        self,
+        clients: Sequence[Client] = (),
+        existing: Iterable[PartitionId] = (),
+        candidates: Iterable[PartitionId] = (),
+        answer: Optional[PartitionId] = None,
+    ) -> str:
+        """Render every level, top floor first."""
+        parts = [
+            self.render_level(
+                level,
+                clients=clients,
+                existing=existing,
+                candidates=candidates,
+                answer=answer,
+            )
+            for level in reversed(self.venue.levels)
+        ]
+        return "\n\n".join(parts)
+
+
+def render_result(
+    venue: IndoorVenue,
+    clients: Sequence[Client],
+    existing: Iterable[PartitionId],
+    candidates: Iterable[PartitionId],
+    answer: Optional[PartitionId],
+    width: int = 100,
+    height: int = 24,
+) -> str:
+    """One-call rendering of a query outcome (the answer's level only,
+    or the ground level when there is no answer)."""
+    renderer = FloorPlanRenderer(venue, width=width, height=height)
+    if answer is not None:
+        level = venue.partition(answer).level
+    else:
+        level = venue.levels[0]
+    return renderer.render_level(
+        level,
+        clients=clients,
+        existing=existing,
+        candidates=candidates,
+        answer=answer,
+    )

@@ -1,0 +1,67 @@
+"""Unit tests for the benchmark measurement primitives."""
+
+import pytest
+
+from repro import IFLSEngine
+from repro.bench import Measurement, compare, measure_query, timed
+from repro.datasets import small_office
+from tests.conftest import facility_split, make_clients
+
+
+@pytest.fixture(scope="module")
+def setup():
+    venue = small_office(levels=2, rooms=24)
+    engine = IFLSEngine(venue)
+    rooms = sorted(
+        p.partition_id for p in venue.partitions()
+        if p.kind.value == "room"
+    )
+    clients = make_clients(venue, 20, seed=60)
+    fs = facility_split(rooms, existing=3, candidates=5, seed=60)
+    return engine, clients, fs
+
+
+class TestMeasureQuery:
+    def test_repeats_collected(self, setup):
+        engine, clients, fs = setup
+        m = measure_query(engine, clients, fs, "efficient", repeats=3)
+        assert len(m.elapsed_seconds) == 3
+        assert len(m.peak_memory_bytes) == 3
+        assert m.mean_seconds > 0
+        assert m.mean_memory_mb > 0
+        assert m.objective is not None
+
+    def test_memory_tracking_optional(self, setup):
+        engine, clients, fs = setup
+        m = measure_query(
+            engine, clients, fs, "efficient",
+            repeats=1, measure_memory=False,
+        )
+        assert m.peak_memory_bytes == [0]
+
+    def test_objectives_stable_across_repeats(self, setup):
+        engine, clients, fs = setup
+        m = measure_query(engine, clients, fs, "baseline", repeats=2)
+        assert m.label == "baseline"
+
+
+class TestCompare:
+    def test_compare_runs_both_algorithms(self, setup):
+        engine, clients, fs = setup
+        results = compare(engine, clients, fs, repeats=1)
+        assert [m.label for m in results] == ["efficient", "baseline"]
+        assert results[0].objective == pytest.approx(
+            results[1].objective
+        )
+
+
+def test_timed_returns_positive_duration():
+    assert timed(lambda: sum(range(1000))) > 0
+
+
+def test_measurement_aggregates():
+    m = Measurement(label="x")
+    m.elapsed_seconds = [1.0, 3.0]
+    m.peak_memory_bytes = [1024 * 1024, 3 * 1024 * 1024]
+    assert m.mean_seconds == 2.0
+    assert m.mean_memory_mb == 2.0

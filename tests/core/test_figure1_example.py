@@ -1,0 +1,97 @@
+"""End-to-end reproduction of the paper's worked example (Figure 1, §5.4).
+
+The Figure-1 venue has 22 partitions in three wings, four existing
+coffee facilities (e1-e4), thirteen candidate locations (n1-n13), and
+60 clients, six of which sit inside existing facilities.  The paper's
+walk-through ends with answer n5 (partition p10).
+"""
+
+import pytest
+
+from repro import FacilitySets, ResultStatus
+from repro.core.baseline import modified_minmax
+from repro.core.bruteforce import brute_force_minmax
+from repro.core.efficient import efficient_minmax
+from repro.datasets import (
+    CANDIDATE_NAMES,
+    EXISTING_NAMES,
+    EXPECTED_ANSWER_NAME,
+    figure1_venue,
+)
+
+
+class TestVenueStructure:
+    def test_partition_and_door_counts(self, figure1):
+        venue, _, _, _, names = figure1
+        assert venue.partition_count == 22
+        assert all(f"p{i}" in names for i in range(1, 23))
+
+    def test_leaves_are_connected_wing_groups(self, figure1):
+        # The paper's VIP-tree (Figure 2) combines the venue into a few
+        # leaf nodes of adjacent partitions.  Our greedy grouping may
+        # split wings differently, but every leaf must be a small set
+        # of door-connected partitions.
+        from repro import VIPTree
+
+        venue = figure1[0]
+        tree = VIPTree(venue, leaf_capacity=9)
+        assert 2 <= tree.leaf_count <= 4
+        for leaf in tree.leaves():
+            members = set(leaf.partitions)
+            start = next(iter(members))
+            seen = {start}
+            stack = [start]
+            while stack:
+                current = stack.pop()
+                for neighbour in venue.neighbours(current):
+                    if neighbour in members and neighbour not in seen:
+                        seen.add(neighbour)
+                        stack.append(neighbour)
+            assert seen == members
+
+    def test_facility_sets(self, figure1):
+        _, existing, candidates, _, names = figure1
+        assert len(existing) == 4
+        assert len(candidates) == 13
+        assert existing == {names[e] for e in EXISTING_NAMES}
+        assert candidates == {names[n] for n in CANDIDATE_NAMES}
+
+    def test_sixty_clients_with_six_inside_existing(self, figure1):
+        _, existing, _, clients, _ = figure1
+        assert len(clients) == 60
+        inside = [c for c in clients if c.partition_id in existing]
+        assert len(inside) == 6
+
+
+class TestWorkedExample:
+    def test_answer_is_n5_in_p10(self, figure1, figure1_engine):
+        venue, existing, candidates, clients, names = figure1
+        fs = FacilitySets(existing, candidates)
+        result = brute_force_minmax(
+            figure1_engine.problem(clients, fs)
+        )
+        assert result.answer == names[EXPECTED_ANSWER_NAME]
+        assert result.answer == names["p10"]
+
+    def test_all_algorithms_reproduce_the_example(
+        self, figure1, figure1_engine
+    ):
+        venue, existing, candidates, clients, names = figure1
+        fs = FacilitySets(existing, candidates)
+        oracle = brute_force_minmax(figure1_engine.problem(clients, fs))
+        for solver in (modified_minmax, efficient_minmax):
+            result = solver(figure1_engine.problem(clients, fs))
+            assert result.status is ResultStatus.OPTIMAL
+            assert result.objective == pytest.approx(oracle.objective)
+            assert result.answer == names[EXPECTED_ANSWER_NAME]
+
+    def test_clients_inside_existing_facilities_are_pruned(
+        self, figure1, figure1_engine
+    ):
+        venue, existing, candidates, clients, names = figure1
+        fs = FacilitySets(existing, candidates)
+        result = efficient_minmax(figure1_engine.problem(clients, fs))
+        # The six clients inside e1-e4 are pruned at distance 0 (paper
+        # prunes c1, c17, c18, c52, c58, c59), plus any whose nearest
+        # existing facility beats the final bound.
+        assert result.stats.clients_pruned >= 6

@@ -1,0 +1,133 @@
+"""Property tests on grid venues (cyclic door graphs).
+
+The corridor buildings used elsewhere have nearly tree-shaped door
+graphs; grids have many alternative shortest paths, exercising the
+VIP-tree's access-door decomposition and the algorithms' tie handling
+much harder.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DistanceService,
+    FacilitySets,
+    IFLSEngine,
+    VIPTree,
+)
+from repro.core.baseline import modified_minmax
+from repro.core.bruteforce import (
+    brute_force_maxsum,
+    brute_force_mindist,
+    brute_force_minmax,
+)
+from repro.core.efficient import efficient_minmax
+from repro.core.maxsum import efficient_maxsum
+from repro.core.mindist import efficient_mindist
+from repro.datasets import grid_venue
+from tests.conftest import make_clients
+
+_CACHE = {}
+
+
+def _grid(rows, columns, leaf_capacity):
+    key = (rows, columns, leaf_capacity)
+    if key not in _CACHE:
+        venue = grid_venue(rows, columns)
+        tree = VIPTree(venue, leaf_capacity=leaf_capacity)
+        _CACHE[key] = (venue, IFLSEngine(venue, tree=tree))
+    return _CACHE[key]
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    rows=st.integers(2, 5),
+    columns=st.integers(2, 5),
+    leaf_capacity=st.integers(2, 6),
+)
+def test_vip_equals_dijkstra_on_grids(rows, columns, leaf_capacity):
+    venue, engine = _grid(rows, columns, leaf_capacity)
+    exact = DistanceService(venue, graph=engine.tree.graph)
+    doors = sorted(venue.door_ids())
+    pairs = (
+        itertools.combinations(doors, 2)
+        if len(doors) <= 16
+        else zip(doors, doors[7:] + doors[:7])
+    )
+    for a, b in pairs:
+        assert engine.tree.door_to_door(a, b) == pytest.approx(
+            exact.door_to_door(a, b)
+        )
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    rows=st.integers(2, 5),
+    columns=st.integers(2, 5),
+    seed=st.integers(0, 5000),
+    n_existing=st.integers(0, 3),
+    n_candidates=st.integers(1, 5),
+    n_clients=st.integers(1, 20),
+)
+def test_minmax_agreement_on_grids(
+    rows, columns, seed, n_existing, n_candidates, n_clients
+):
+    venue, engine = _grid(rows, columns, 4)
+    pids = sorted(venue.partition_ids())
+    rng = random.Random(seed)
+    chosen = rng.sample(
+        pids, min(len(pids), n_existing + n_candidates)
+    )
+    facilities = FacilitySets(
+        frozenset(chosen[:n_existing]),
+        frozenset(chosen[n_existing:]) or frozenset(chosen[:1]),
+    )
+    if not facilities.candidates:
+        return
+    clients = make_clients(venue, n_clients, seed=seed)
+    oracle = brute_force_minmax(engine.problem(clients, facilities))
+    fast = efficient_minmax(engine.problem(clients, facilities))
+    base = modified_minmax(engine.problem(clients, facilities))
+    assert fast.objective == pytest.approx(oracle.objective)
+    assert base.objective == pytest.approx(oracle.objective)
+    assert fast.status == oracle.status == base.status
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 5000),
+    objective=st.sampled_from(["mindist", "maxsum"]),
+)
+def test_extensions_agreement_on_grids(seed, objective):
+    venue, engine = _grid(4, 5, 4)
+    pids = sorted(venue.partition_ids())
+    rng = random.Random(seed)
+    chosen = rng.sample(pids, 8)
+    facilities = FacilitySets(
+        frozenset(chosen[:3]), frozenset(chosen[3:])
+    )
+    clients = make_clients(venue, 15, seed=seed)
+    if objective == "mindist":
+        fast = efficient_mindist(engine.problem(clients, facilities))
+        oracle = brute_force_mindist(engine.problem(clients, facilities))
+    else:
+        fast = efficient_maxsum(engine.problem(clients, facilities))
+        oracle = brute_force_maxsum(engine.problem(clients, facilities))
+    assert fast.objective == pytest.approx(oracle.objective)
+    assert fast.status == oracle.status

@@ -1,0 +1,98 @@
+"""Unit and property tests for the MaxSum extension (Section 7)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import Client, EfficientOptions, FacilitySets, IFLSEngine
+from repro import ResultStatus
+from repro.core.bruteforce import brute_force_maxsum
+from repro.core.maxsum import efficient_maxsum
+from repro.datasets import small_office
+from tests.conftest import facility_split, make_clients
+from tests.core.test_equivalence_property import scenarios
+
+
+@pytest.fixture(scope="module")
+def office():
+    venue = small_office(levels=2, rooms=24)
+    engine = IFLSEngine(venue)
+    rooms = sorted(
+        p.partition_id for p in venue.partitions()
+        if p.kind.value == "room"
+    )
+    return venue, engine, rooms
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_count_matches_bruteforce(self, office, seed):
+        venue, engine, rooms = office
+        clients = make_clients(venue, 30, seed=seed)
+        fs = facility_split(rooms, existing=3, candidates=7, seed=seed)
+        got = efficient_maxsum(engine.problem(clients, fs))
+        want = brute_force_maxsum(engine.problem(clients, fs))
+        assert got.status == want.status
+        assert got.objective == pytest.approx(want.objective)
+
+    def test_no_existing_means_everyone_wins(self, office):
+        venue, engine, rooms = office
+        clients = make_clients(venue, 15, seed=21)
+        fs = facility_split(rooms, existing=0, candidates=4, seed=21)
+        result = efficient_maxsum(engine.problem(clients, fs))
+        assert result.objective == len(clients)
+
+
+class TestBehaviour:
+    def test_no_improvement_when_no_wins(self, office):
+        venue, engine, rooms = office
+        fs = FacilitySets(frozenset({rooms[0]}), frozenset({rooms[5]}))
+        clients = [Client(0, venue.partition(rooms[0]).center, rooms[0])]
+        result = efficient_maxsum(engine.problem(clients, fs))
+        assert result.status is ResultStatus.NO_IMPROVEMENT
+        assert result.objective == 0.0
+
+    def test_objective_is_integer_valued(self, office):
+        venue, engine, rooms = office
+        clients = make_clients(venue, 25, seed=31)
+        fs = facility_split(rooms, existing=3, candidates=6, seed=31)
+        result = efficient_maxsum(engine.problem(clients, fs))
+        assert result.objective == int(result.objective)
+
+    def test_stats_algorithm_name(self, office):
+        venue, engine, rooms = office
+        clients = make_clients(venue, 10, seed=32)
+        fs = facility_split(rooms, existing=2, candidates=4, seed=32)
+        result = efficient_maxsum(engine.problem(clients, fs))
+        assert result.stats.algorithm == "efficient-maxsum"
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenario=scenarios())
+def test_maxsum_property_equivalence(scenario):
+    engine, clients, facilities = scenario
+    got = efficient_maxsum(engine.problem(clients, facilities))
+    want = brute_force_maxsum(engine.problem(clients, facilities))
+    assert got.status == want.status
+    assert got.objective == pytest.approx(want.objective)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenario=scenarios())
+def test_maxsum_ablations_agree(scenario):
+    engine, clients, facilities = scenario
+    want = brute_force_maxsum(engine.problem(clients, facilities))
+    for options in (
+        EfficientOptions(prune_clients=False),
+        EfficientOptions(group_by_partition=False),
+    ):
+        got = efficient_maxsum(engine.problem(clients, facilities),
+                               options)
+        assert got.objective == pytest.approx(want.objective)

@@ -1,0 +1,65 @@
+"""Real-setting category assignment must reproduce the paper's sizes."""
+
+import pytest
+
+from repro import QueryError
+from repro.datasets import (
+    CATEGORY_SIZES,
+    QUERY_CATEGORIES,
+    assign_categories,
+    melbourne_central,
+    real_setting_facilities,
+    small_office,
+)
+
+#: Paper Table 2 real-setting (|Fe|, |Fn|) pairs.
+PAPER_PAIRS = {
+    "fashion & accessories": (101, 190),
+    "dining & entertainment": (54, 237),
+    "health & beauty": (39, 252),
+    "fresh food": (19, 272),
+    "banks & services": (14, 277),
+}
+
+
+@pytest.fixture(scope="module")
+def mc():
+    return melbourne_central()
+
+
+def test_category_sizes_sum_to_291():
+    assert sum(size for _n, size in CATEGORY_SIZES) == 291
+
+
+def test_assignment_is_partition(mc):
+    assignment = assign_categories(mc)
+    seen = set()
+    for name, size in CATEGORY_SIZES:
+        pids = assignment[name]
+        assert len(pids) == size
+        assert not (seen & set(pids))
+        seen.update(pids)
+    assert len(seen) == 291
+
+
+def test_assignment_is_deterministic(mc):
+    assert assign_categories(mc) == assign_categories(mc)
+
+
+@pytest.mark.parametrize("category", QUERY_CATEGORIES)
+def test_paper_fe_fn_pairs(mc, category):
+    fs = real_setting_facilities(mc, category)
+    fe, fn = PAPER_PAIRS[category]
+    assert len(fs.existing) == fe
+    assert len(fs.candidates) == fn
+    assert not fs.existing & fs.candidates
+
+
+def test_unknown_category_raises(mc):
+    with pytest.raises(QueryError):
+        real_setting_facilities(mc, "pet shops")
+
+
+def test_small_venue_rejected():
+    with pytest.raises(QueryError):
+        assign_categories(small_office())

@@ -1,0 +1,52 @@
+"""Unit tests for the Figure-1 venue factory."""
+
+from repro.datasets import figure1_venue
+from repro.datasets.figures import CANDIDATE_NAMES, EXISTING_NAMES
+
+
+def test_structure_counts(figure1):
+    venue, existing, candidates, clients, names = figure1
+    assert venue.partition_count == 22
+    assert len(existing) == 4
+    assert len(candidates) == 13
+    assert len(clients) == 60
+
+
+def test_names_cover_all_labels(figure1):
+    _, _, _, _, names = figure1
+    for i in range(1, 23):
+        assert f"p{i}" in names
+    for label in EXISTING_NAMES + CANDIDATE_NAMES:
+        assert label in names
+
+
+def test_corridor_doors_d4_d7(figure1):
+    venue, _, _, _, names = figure1
+    assert venue.connecting_doors(names["p4"], names["p7"])
+    assert venue.connecting_doors(names["p7"], names["p22"])
+    assert not venue.connecting_doors(names["p4"], names["p22"])
+
+
+def test_venue_validates(figure1):
+    figure1[0].validate()
+
+
+def test_clients_are_inside_their_partitions(figure1):
+    venue, _, _, clients, _ = figure1
+    for client in clients:
+        assert venue.partition(client.partition_id).contains(
+            client.location
+        )
+
+
+def test_determinism():
+    a = figure1_venue()
+    b = figure1_venue()
+    assert [c.location for c in a[3]] == [c.location for c in b[3]]
+
+
+def test_custom_client_count():
+    venue, existing, _, clients, _ = figure1_venue(client_count=10)
+    assert len(clients) == 10
+    inside = [c for c in clients if c.partition_id in existing]
+    assert len(inside) == 6

@@ -1,0 +1,155 @@
+"""Unit tests for the procedural building generator."""
+
+import pytest
+
+from repro import PartitionKind, VenueError
+from repro.datasets import CHAIN, STACK, BuildingSpec, generate_building
+
+
+def spec(**overrides):
+    base = dict(
+        name="t",
+        levels=2,
+        corridors_per_level=1,
+        rooms=12,
+        layout=STACK,
+        segments_per_corridor=2,
+        vertical_links_per_gap=1,
+        exterior_doors=1,
+        width=60.0,
+    )
+    base.update(overrides)
+    return BuildingSpec(**base)
+
+
+class TestSpecValidation:
+    def test_unknown_layout(self):
+        with pytest.raises(VenueError):
+            spec(layout="spiral")
+
+    def test_chain_must_be_single_level(self):
+        with pytest.raises(VenueError):
+            spec(layout=CHAIN, levels=2, corridors_per_level=2,
+                 segments_per_corridor=1, corridor_links_per_level=1)
+
+    def test_too_few_rooms(self):
+        with pytest.raises(VenueError):
+            spec(rooms=1)
+
+    def test_too_many_double_doors(self):
+        with pytest.raises(VenueError):
+            spec(double_door_rooms=13)
+
+    def test_multi_corridor_needs_links(self):
+        with pytest.raises(VenueError):
+            spec(corridors_per_level=2, corridor_links_per_level=0)
+
+    def test_expected_counts_formulas(self):
+        s = spec()
+        assert s.expected_partitions == 12 + 2 * 1 * 2
+        # rooms + segment links (2 per level... 1 per level here) +
+        # vertical + exterior
+        assert s.expected_doors == 12 + 0 + 2 * 1 + 1 + 1
+
+
+class TestGeneratedStructure:
+    def test_counts_match_spec(self):
+        s = spec()
+        venue = generate_building(s)
+        assert venue.partition_count == s.expected_partitions
+        assert venue.door_count == s.expected_doors
+
+    def test_venue_is_connected_and_valid(self):
+        venue = generate_building(spec())
+        venue.validate()
+
+    def test_levels_present(self):
+        venue = generate_building(spec(levels=3))
+        assert venue.levels == (0, 1, 2)
+
+    def test_room_kinds(self):
+        venue = generate_building(spec())
+        kinds = {p.kind for p in venue.partitions()}
+        assert kinds == {PartitionKind.ROOM, PartitionKind.CORRIDOR}
+
+    def test_chain_layout_halls(self):
+        s = BuildingSpec(
+            name="airport",
+            levels=1,
+            corridors_per_level=3,
+            rooms=12,
+            layout=CHAIN,
+            corridor_links_per_level=2,
+            double_door_rooms=4,
+            exterior_doors=3,
+            width=300.0,
+        )
+        venue = generate_building(s)
+        venue.validate()
+        halls = [
+            p for p in venue.partitions()
+            if p.kind is PartitionKind.HALL
+        ]
+        assert len(halls) == 3
+        assert venue.partition_count == s.expected_partitions
+        assert venue.door_count == s.expected_doors
+
+    def test_double_door_rooms_have_two_doors(self):
+        s = spec(double_door_rooms=3)
+        venue = generate_building(s)
+        two_door_rooms = [
+            p
+            for p in venue.partitions()
+            if p.kind is PartitionKind.ROOM
+            and len(venue.doors_of(p.partition_id)) == 2
+        ]
+        assert len(two_door_rooms) == 3
+
+    def test_determinism(self):
+        a = generate_building(spec())
+        b = generate_building(spec())
+        assert [p.rect for p in a.partitions()] == [
+            p.rect for p in b.partitions()
+        ]
+
+    def test_segmented_corridors_are_chained(self):
+        venue = generate_building(spec(segments_per_corridor=3, rooms=12))
+        corridors = [
+            p.partition_id
+            for p in venue.partitions()
+            if p.kind is PartitionKind.CORRIDOR and p.level == 0
+        ]
+        assert len(corridors) == 3
+        # Consecutive segments share a door.
+        assert venue.connecting_doors(corridors[0], corridors[1])
+        assert venue.connecting_doors(corridors[1], corridors[2])
+        assert not venue.connecting_doors(corridors[0], corridors[2])
+
+
+class TestGridVenue:
+    def test_counts(self):
+        from repro.datasets import grid_venue
+
+        venue = grid_venue(3, 4)
+        assert venue.partition_count == 12
+        # Doors: horizontal 3*(4-1)=9, vertical (3-1)*4=8.
+        assert venue.door_count == 17
+        venue.validate()
+
+    def test_manhattan_like_distances(self):
+        from repro import DistanceService, Point
+        from repro.datasets import grid_venue
+
+        venue = grid_venue(1, 3, cell=4.0)
+        svc = DistanceService(venue)
+        # Straight line through door midpoints of a 1x3 strip.
+        d = svc.point_to_point(Point(1, 2, 0), 0, Point(11, 2, 0), 2)
+        assert d == pytest.approx(10.0)
+
+    def test_degenerate_grids_rejected(self):
+        from repro.datasets import grid_venue
+
+        with pytest.raises(VenueError):
+            grid_venue(0, 5)
+        with pytest.raises(VenueError):
+            grid_venue(1, 1)

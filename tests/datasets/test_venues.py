@@ -1,0 +1,57 @@
+"""The four paper venues must match the published statistics exactly."""
+
+import pytest
+
+from repro.datasets import (
+    EXPECTED_STATS,
+    VENUE_NAMES,
+    room_partitions,
+    small_office,
+    venue_by_name,
+)
+
+
+@pytest.mark.parametrize("name", VENUE_NAMES)
+def test_paper_statistics(name):
+    venue = venue_by_name(name)
+    partitions, doors = EXPECTED_STATS[name]
+    assert venue.partition_count == partitions
+    assert venue.door_count == doors
+
+
+@pytest.mark.parametrize("name", VENUE_NAMES)
+def test_venues_validate(name):
+    venue_by_name(name).validate()
+
+
+def test_levels_match_paper():
+    assert len(venue_by_name("MC").levels) == 7
+    assert len(venue_by_name("CH").levels) == 4
+    assert len(venue_by_name("CPH").levels) == 1
+    assert len(venue_by_name("MZB").levels) == 16
+
+
+def test_cph_footprint_is_2000_by_600():
+    venue = venue_by_name("CPH")
+    rect = venue.bounding_rect()
+    assert rect.width == pytest.approx(2000.0)
+    assert rect.height <= 600.0
+
+
+def test_mc_has_291_category_eligible_rooms():
+    assert len(room_partitions(venue_by_name("MC"))) == 291
+
+
+def test_unknown_venue_raises():
+    with pytest.raises(KeyError):
+        venue_by_name("LOUVRE")
+
+
+def test_lowercase_names_accepted():
+    assert venue_by_name("cph").partition_count == 76
+
+
+def test_small_office_shape():
+    venue = small_office(levels=2, rooms=24)
+    assert venue.partition_count == 26
+    venue.validate()

@@ -1,0 +1,138 @@
+"""Unit and property tests for workload generation."""
+
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import QueryError
+from repro.datasets import (
+    normal_clients,
+    random_facility_sets,
+    small_office,
+    uniform_clients,
+    workload,
+)
+
+
+@pytest.fixture(scope="module")
+def venue():
+    return small_office(levels=3, rooms=36)
+
+
+class TestUniformClients:
+    def test_count_and_ids(self, venue):
+        clients = uniform_clients(venue, 50, random.Random(1))
+        assert len(clients) == 50
+        assert [c.client_id for c in clients] == list(range(50))
+
+    def test_clients_inside_their_partition(self, venue):
+        for client in uniform_clients(venue, 100, random.Random(2)):
+            partition = venue.partition(client.partition_id)
+            assert partition.contains(client.location)
+
+    def test_clients_only_in_rooms_and_halls(self, venue):
+        for client in uniform_clients(venue, 100, random.Random(3)):
+            kind = venue.partition(client.partition_id).kind.value
+            assert kind in ("room", "hall")
+
+    def test_start_id_offset(self, venue):
+        clients = uniform_clients(venue, 5, random.Random(4), start_id=100)
+        assert [c.client_id for c in clients] == [100, 101, 102, 103, 104]
+
+    def test_deterministic_with_seeded_rng(self, venue):
+        a = uniform_clients(venue, 20, random.Random(7))
+        b = uniform_clients(venue, 20, random.Random(7))
+        assert [c.location for c in a] == [c.location for c in b]
+
+
+class TestNormalClients:
+    def test_count(self, venue):
+        clients = normal_clients(venue, 40, 0.5, random.Random(5))
+        assert len(clients) == 40
+
+    def test_clients_inside_their_partition(self, venue):
+        for client in normal_clients(venue, 80, 0.25, random.Random(6)):
+            partition = venue.partition(client.partition_id)
+            assert partition.contains(client.location)
+
+    def test_smaller_sigma_concentrates_clients(self, venue):
+        centre = venue.bounding_rect().center
+        rng = random.Random(8)
+        tight = normal_clients(venue, 200, 0.125, rng)
+        loose = normal_clients(venue, 200, 2.0, rng)
+
+        def mean_distance(clients):
+            return statistics.fmean(
+                c.location.planar_distance(centre) for c in clients
+            )
+
+        assert mean_distance(tight) < mean_distance(loose)
+
+    def test_sigma_must_be_positive(self, venue):
+        with pytest.raises(QueryError):
+            normal_clients(venue, 5, 0.0, random.Random(9))
+
+    @settings(max_examples=10, deadline=None)
+    @given(sigma=st.floats(0.05, 4.0), count=st.integers(1, 50))
+    def test_any_sigma_yields_valid_clients(self, venue, sigma, count):
+        for client in normal_clients(venue, count, sigma,
+                                     random.Random(11)):
+            assert venue.partition(client.partition_id).contains(
+                client.location
+            )
+
+
+class TestFacilitySets:
+    def test_sizes_and_disjointness(self, venue):
+        fs = random_facility_sets(venue, 5, 9, random.Random(10))
+        assert len(fs.existing) == 5
+        assert len(fs.candidates) == 9
+        assert not fs.existing & fs.candidates
+
+    def test_only_rooms_eligible(self, venue):
+        fs = random_facility_sets(venue, 5, 9, random.Random(11))
+        for pid in fs.all_facilities:
+            assert venue.partition(pid).kind.value == "room"
+
+    def test_explicit_eligible_pool(self, venue):
+        pool = sorted(
+            p.partition_id for p in venue.partitions()
+            if p.kind.value == "room"
+        )[:6]
+        fs = random_facility_sets(
+            venue, 2, 3, random.Random(12), eligible=pool
+        )
+        assert fs.all_facilities <= set(pool)
+
+    def test_oversized_request_rejected(self, venue):
+        with pytest.raises(QueryError):
+            random_facility_sets(venue, 500, 500, random.Random(13))
+
+
+class TestWorkloadFacade:
+    def test_uniform_workload(self, venue):
+        clients, fs = workload(venue, 30, 4, 6, seed=1)
+        assert len(clients) == 30
+        assert len(fs.existing) == 4
+        assert len(fs.candidates) == 6
+
+    def test_normal_workload(self, venue):
+        clients, fs = workload(
+            venue, 30, 4, 6, seed=1, distribution="normal", sigma=0.5
+        )
+        assert len(clients) == 30
+
+    def test_unknown_distribution(self, venue):
+        with pytest.raises(QueryError):
+            workload(venue, 10, 2, 2, distribution="pareto")
+
+    def test_same_seed_same_workload(self, venue):
+        a_clients, a_fs = workload(venue, 20, 3, 4, seed=9)
+        b_clients, b_fs = workload(venue, 20, 3, 4, seed=9)
+        assert a_fs.existing == b_fs.existing
+        assert [c.location for c in a_clients] == [
+            c.location for c in b_clients
+        ]

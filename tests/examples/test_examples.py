@@ -1,0 +1,82 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are imported from ``examples/`` and executed with their
+workload constants scaled down, so the suite stays fast while
+guaranteeing the scripts never rot.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart(capsys):
+    module = load_example("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "bruteforce" in out and "efficient" in out
+    assert "n5" in out
+
+
+def test_hospital(capsys):
+    module = load_example("hospital_nurse_station")
+    module.main()
+    out = capsys.readouterr().out
+    assert "New station location" in out
+    assert "Improvement" in out
+
+
+def test_paper_figure1(capsys):
+    module = load_example("paper_figure1")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Both return n5" in out
+
+
+def test_university_coffee(capsys):
+    module = load_example("university_coffee")
+    module.STUDENTS = 150
+    module.main()
+    out = capsys.readouterr().out
+    assert "minmax" in out and "mindist" in out and "maxsum" in out
+
+
+def test_shopping_mall_booth(capsys):
+    module = load_example("shopping_mall_booth")
+    module.SHOPPERS = 150
+    module.main()
+    out = capsys.readouterr().out
+    assert "fashion & accessories" in out
+    assert "banks & services" in out
+
+
+def test_dynamic_crowd(capsys):
+    module = load_example("dynamic_crowd")
+    module.WAVES = 2
+    module.ARRIVALS_PER_WAVE = 60
+    module.main()
+    out = capsys.readouterr().out
+    assert "wave" in out
+    assert "cold engine" in out
+
+
+def test_venue_toolbox(capsys):
+    module = load_example("venue_toolbox")
+    module.main()
+    out = capsys.readouterr().out
+    assert "IFLS answer" in out
+    assert "round-trip" in out
+    assert "total distance" in out

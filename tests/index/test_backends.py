@@ -1,0 +1,115 @@
+"""Alternative distance backends must agree with the ground truth.
+
+Covers the door-to-door table (Yang et al.), the hierarchical IP-tree
+assembly (Shao et al. without the vivid matrices), and the VIP-tree,
+all against plain Dijkstra.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import DistanceService, VIPTree
+from repro.errors import IndexError_
+from repro.index.doortable import DoorTableIndex
+from repro.index.iptree import IPTreeDistanceIndex
+from repro.datasets import small_office, generate_building
+from tests.conftest import build_corridor_venue
+from tests.index.test_vip_property import building_specs
+
+
+@pytest.fixture(scope="module")
+def office():
+    venue = small_office(levels=3, rooms=30)
+    tree = VIPTree(venue, leaf_capacity=5)
+    return (
+        venue,
+        tree,
+        DoorTableIndex(venue, graph=tree.graph),
+        IPTreeDistanceIndex(tree),
+        DistanceService(venue, graph=tree.graph),
+    )
+
+
+class TestDoorTable:
+    def test_all_pairs_match_dijkstra(self, office):
+        venue, _tree, table, _ip, exact = office
+        doors = sorted(venue.door_ids())
+        for a, b in itertools.combinations(doors[::2], 2):
+            assert table.door_to_door(a, b) == pytest.approx(
+                exact.door_to_door(a, b)
+            )
+
+    def test_identity_and_symmetry(self, office):
+        venue, _tree, table, _ip, _exact = office
+        doors = sorted(venue.door_ids())
+        assert table.door_to_door(doors[0], doors[0]) == 0.0
+        assert table.door_to_door(doors[0], doors[7]) == (
+            table.door_to_door(doors[7], doors[0])
+        )
+
+    def test_entry_count_is_all_pairs(self, office):
+        venue, _tree, table, _ip, _exact = office
+        n = venue.door_count
+        assert table.matrix_entry_count() == n * (n + 1) // 2
+
+
+class TestIPTree:
+    def test_matches_dijkstra(self, office):
+        venue, _tree, _table, ip, exact = office
+        doors = sorted(venue.door_ids())
+        for a, b in itertools.combinations(doors[::2], 2):
+            assert ip.door_to_door(a, b) == pytest.approx(
+                exact.door_to_door(a, b)
+            ), (a, b)
+
+    def test_fewer_entries_than_vip(self, office):
+        venue, tree, _table, ip, _exact = office
+        assert ip.matrix_entry_count() <= tree.matrix_entry_count()
+
+    def test_fewer_entries_than_full_table_on_big_venue(self):
+        from repro.datasets import BuildingSpec
+
+        spec = BuildingSpec(
+            name="long", levels=2, corridors_per_level=1, rooms=80,
+            segments_per_corridor=6, width=200.0,
+        )
+        venue = generate_building(spec)
+        tree = VIPTree(venue, leaf_capacity=8)
+        ip = IPTreeDistanceIndex(tree)
+        table = DoorTableIndex(venue, graph=tree.graph)
+        assert ip.matrix_entry_count() < table.matrix_entry_count()
+        assert ip.matrix_entry_count() <= tree.matrix_entry_count()
+
+    def test_unknown_door_raises(self, office):
+        _venue, _tree, _table, ip, _exact = office
+        with pytest.raises(IndexError_):
+            ip.door_to_door(99999, 0)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(spec=building_specs())
+def test_backends_agree_on_random_venues(spec):
+    venue = generate_building(spec)
+    tree = VIPTree(venue, leaf_capacity=4)
+    table = DoorTableIndex(venue, graph=tree.graph)
+    ip = IPTreeDistanceIndex(tree)
+    exact = DistanceService(venue, graph=tree.graph)
+    doors = sorted(venue.door_ids())
+    rng = random.Random(11)
+    pairs = (
+        list(itertools.combinations(doors, 2))
+        if len(doors) <= 14
+        else [tuple(rng.sample(doors, 2)) for _ in range(40)]
+    )
+    for a, b in pairs:
+        want = exact.door_to_door(a, b)
+        assert tree.door_to_door(a, b) == pytest.approx(want)
+        assert table.door_to_door(a, b) == pytest.approx(want)
+        assert ip.door_to_door(a, b) == pytest.approx(want), (spec, a, b)

@@ -1,0 +1,143 @@
+"""Unit tests for VIP-tree construction (grouping, access doors, spans)."""
+
+import pytest
+
+from repro import VIPTree
+from repro.errors import IndexError_
+from repro.index.construction import build_nodes
+from tests.conftest import build_corridor_venue
+
+
+@pytest.fixture(scope="module")
+def tree():
+    venue, rooms, corridor_id = build_corridor_venue(rooms=12, width=60)
+    return venue, rooms, corridor_id, VIPTree(venue, leaf_capacity=5)
+
+
+class TestHierarchy:
+    def test_single_root(self, tree):
+        _, _, _, t = tree
+        roots = [n for n in t.nodes if n.parent_id is None]
+        assert len(roots) == 1
+        assert roots[0].node_id == t.root_id
+
+    def test_every_partition_in_exactly_one_leaf(self, tree):
+        venue, _, _, t = tree
+        seen = {}
+        for leaf in t.leaves():
+            for pid in leaf.partitions:
+                assert pid not in seen
+                seen[pid] = leaf.node_id
+        assert set(seen) == set(venue.partition_ids())
+
+    def test_parent_covers_children(self, tree):
+        _, _, _, t = tree
+        for node in t.nodes:
+            for child_id in node.child_node_ids:
+                child = t.node(child_id)
+                assert set(child.partitions) <= set(node.partitions)
+                assert child.parent_id == node.node_id
+
+    def test_root_covers_everything(self, tree):
+        venue, _, _, t = tree
+        assert set(t.root.partitions) == set(venue.partition_ids())
+
+    def test_depths_increase_downwards(self, tree):
+        _, _, _, t = tree
+        for node in t.nodes:
+            for child_id in node.child_node_ids:
+                assert t.node(child_id).depth == node.depth + 1
+
+    def test_leaf_spans_partition_the_leaf_order(self, tree):
+        _, _, _, t = tree
+        leaves = sorted(t.leaves(), key=lambda n: n.leaf_lo)
+        for i, leaf in enumerate(leaves):
+            assert (leaf.leaf_lo, leaf.leaf_hi) == (i, i + 1)
+        assert (t.root.leaf_lo, t.root.leaf_hi) == (0, len(leaves))
+
+
+class TestAccessDoors:
+    def test_access_doors_cross_node_boundary(self, tree):
+        venue, _, _, t = tree
+        for node in t.nodes:
+            covered = set(node.partitions)
+            for door_id in node.access_doors:
+                door = venue.door(door_id)
+                crosses = door.is_exterior or any(
+                    pid not in covered for pid in door.partitions()
+                )
+                assert crosses
+
+    def test_interior_doors_are_not_access_doors(self, tree):
+        venue, _, _, t = tree
+        for node in t.nodes:
+            covered = set(node.partitions)
+            access = set(node.access_doors)
+            for door_id in node.doors:
+                door = venue.door(door_id)
+                inside = not door.is_exterior and all(
+                    pid in covered for pid in door.partitions()
+                )
+                if inside:
+                    assert door_id not in access
+
+    def test_root_access_doors_are_exterior_only(self, tree):
+        venue, _, _, t = tree
+        for door_id in t.root.access_doors:
+            assert venue.door(door_id).is_exterior
+
+
+class TestCoverage:
+    def test_covers_uses_leaf_spans(self, tree):
+        venue, rooms, _, t = tree
+        for pid in venue.partition_ids():
+            leaf = t.leaf_of(pid)
+            assert t.covers(leaf, pid)
+            assert t.covers(t.root, pid)
+        other_leaves = [
+            leaf for leaf in t.leaves()
+            if rooms[0] not in leaf.partitions
+        ]
+        assert all(not t.covers(leaf, rooms[0]) for leaf in other_leaves)
+
+    def test_is_descendant(self, tree):
+        _, _, _, t = tree
+        for leaf in t.leaves():
+            assert t.is_descendant(leaf, t.root)
+            if leaf.node_id != t.root_id:
+                assert not t.is_descendant(t.root, leaf)
+
+    def test_unindexed_partition_raises(self, tree):
+        _, _, _, t = tree
+        with pytest.raises(IndexError_):
+            t.leaf_of(424242)
+
+
+class TestParameters:
+    def test_invalid_parameters_rejected(self, tree):
+        venue, _, _, _t = tree
+        with pytest.raises(IndexError_):
+            build_nodes(venue, leaf_capacity=0)
+        with pytest.raises(IndexError_):
+            build_nodes(venue, fanout=1)
+
+    def test_leaf_capacity_soft_limit(self, tree):
+        """Grouping covers every partition exactly once even when the
+        star topology forces absorbing rooms past the nominal capacity."""
+        venue, _, _, _t = tree
+        nodes, leaf_of = build_nodes(venue, leaf_capacity=5)
+        leaves = [n for n in nodes if n.is_leaf]
+        covered = [pid for leaf in leaves for pid in leaf.partitions]
+        assert sorted(covered) == sorted(venue.partition_ids())
+        assert set(leaf_of) == set(venue.partition_ids())
+
+    def test_single_partition_venue(self):
+        from repro import Point, Rect, VenueBuilder
+
+        builder = VenueBuilder()
+        room = builder.add_room(Rect(0, 0, 5, 5))
+        builder.add_door(Point(0, 2, 0), room)  # exterior door
+        venue = builder.build()
+        tree = VIPTree(venue)
+        assert tree.node_count == 1
+        assert tree.root.is_leaf

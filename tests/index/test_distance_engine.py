@@ -1,0 +1,167 @@
+"""Unit tests for the VIP-tree distance engine (iDist / iMinD)."""
+
+import pytest
+
+from repro import Client, DistanceService, Point, VIPTree
+from repro.index.distance import VIPDistanceEngine
+from repro.datasets import small_office
+from tests.conftest import build_corridor_venue, make_clients
+
+
+@pytest.fixture(scope="module")
+def setup():
+    venue = small_office(levels=2, rooms=20)
+    tree = VIPTree(venue)
+    return venue, VIPDistanceEngine(tree), DistanceService(venue)
+
+
+class TestIDist:
+    def test_zero_inside_target(self, setup):
+        venue, engine, _ = setup
+        client = make_clients(venue, 1, seed=5)[0]
+        assert engine.idist(client, client.partition_id) == 0.0
+
+    def test_matches_exact_service(self, setup):
+        venue, engine, exact = setup
+        clients = make_clients(venue, 12, seed=6)
+        targets = sorted(venue.partition_ids())
+        for client in clients:
+            for target in targets:
+                got = engine.idist(client, target)
+                want = exact.point_to_partition(
+                    client.location, client.partition_id, target
+                )
+                assert got == pytest.approx(want), (client, target)
+
+    def test_single_door_shortcut_matches_general_path(self, setup):
+        venue, engine, exact = setup
+        cold = VIPDistanceEngine(engine.tree, memoize=False)
+        clients = make_clients(venue, 6, seed=7)
+        targets = sorted(venue.partition_ids())[:8]
+        for client in clients:
+            for target in targets:
+                assert engine.idist(client, target) == pytest.approx(
+                    cold.idist(client, target)
+                )
+
+    def test_shortcut_counter_increments(self, setup):
+        venue, engine, _ = setup
+        # Rooms in the office venue have exactly one door.
+        client = make_clients(venue, 1, seed=8)[0]
+        before = engine.stats.single_door_shortcuts
+        other = next(
+            pid for pid in venue.partition_ids()
+            if pid != client.partition_id
+        )
+        engine.idist(client, other)
+        assert engine.stats.single_door_shortcuts == before + 1
+
+
+class TestIMinD:
+    def test_zero_for_same_partition(self, setup):
+        venue, engine, _ = setup
+        pid = next(venue.partition_ids())
+        assert engine.imind_partitions(pid, pid) == 0.0
+
+    def test_matches_exact_service(self, setup):
+        venue, engine, exact = setup
+        pids = sorted(venue.partition_ids())
+        for a in pids[:6]:
+            for b in pids[-6:]:
+                assert engine.imind_partitions(a, b) == pytest.approx(
+                    exact.partition_to_partition(a, b)
+                )
+
+    def test_memoisation_counts_hits(self, setup):
+        venue, engine, _ = setup
+        pids = sorted(venue.partition_ids())
+        engine.imind_partitions(pids[0], pids[5])
+        before = engine.stats.imind_cache_hits
+        engine.imind_partitions(pids[5], pids[0])  # symmetric key
+        assert engine.stats.imind_cache_hits == before + 1
+
+    def test_node_bound_zero_when_covering(self, setup):
+        venue, engine, _ = setup
+        pid = next(venue.partition_ids())
+        leaf = engine.tree.leaf_of(pid)
+        assert engine.imind_node(pid, leaf) == 0.0
+        assert engine.imind_node(pid, engine.tree.root) == 0.0
+
+    def test_node_bound_lower_bounds_member_distances(self, setup):
+        venue, engine, _ = setup
+        pids = sorted(venue.partition_ids())
+        for pid in pids[:5]:
+            for node in engine.tree.nodes:
+                bound = engine.imind_node(pid, node)
+                for member in node.partitions:
+                    assert (
+                        bound <= engine.imind_partitions(pid, member) + 1e-9
+                    )
+
+
+class TestPointBounds:
+    def test_point_bound_zero_when_covering(self, setup):
+        venue, engine, _ = setup
+        client = make_clients(venue, 1, seed=9)[0]
+        leaf = engine.tree.leaf_of(client.partition_id)
+        assert engine.point_min_dist_to_node(client, leaf) == 0.0
+
+    def test_point_bound_lower_bounds_idist(self, setup):
+        venue, engine, _ = setup
+        clients = make_clients(venue, 5, seed=10)
+        for client in clients:
+            for node in engine.tree.nodes:
+                bound = engine.point_min_dist_to_node(client, node)
+                for member in node.partitions:
+                    assert bound <= engine.idist(client, member) + 1e-9
+
+    def test_point_bound_at_least_partition_bound(self, setup):
+        venue, engine, _ = setup
+        clients = make_clients(venue, 5, seed=11)
+        for client in clients:
+            for node in engine.tree.nodes:
+                assert (
+                    engine.point_min_dist_to_node(client, node)
+                    >= engine.imind_node(client.partition_id, node) - 1e-9
+                )
+
+
+class TestPointToPoint:
+    def test_same_partition_euclidean(self, setup):
+        venue, engine, _ = setup
+        pid = make_clients(venue, 1, seed=12)[0].partition_id
+        rect = venue.partition(pid).rect
+        a = Client(0, Point(rect.min_x, rect.min_y, rect.level), pid)
+        b = Client(1, Point(rect.min_x + 3, rect.min_y, rect.level), pid)
+        assert engine.point_to_point(a, b) == pytest.approx(3.0)
+
+    def test_matches_exact_service(self, setup):
+        venue, engine, exact = setup
+        clients = make_clients(venue, 8, seed=13)
+        for a in clients[:4]:
+            for b in clients[4:]:
+                got = engine.point_to_point(a, b)
+                want = exact.point_to_point(
+                    a.location, a.partition_id, b.location, b.partition_id
+                )
+                assert got == pytest.approx(want)
+
+    def test_symmetry(self, setup):
+        venue, engine, _ = setup
+        clients = make_clients(venue, 6, seed=14)
+        for a in clients[:3]:
+            for b in clients[3:]:
+                assert engine.point_to_point(a, b) == pytest.approx(
+                    engine.point_to_point(b, a)
+                )
+
+
+class TestStatsManagement:
+    def test_reset_stats_returns_previous(self, setup):
+        venue, _, _ = setup
+        engine = VIPDistanceEngine(VIPTree(venue))
+        clients = make_clients(venue, 2, seed=15)
+        engine.idist(clients[0], clients[1].partition_id)
+        old = engine.reset_stats()
+        assert old.idist_calls >= 1
+        assert engine.stats.idist_calls == 0

@@ -1,0 +1,138 @@
+"""Unit tests for indoor route reconstruction."""
+
+import pytest
+
+from repro import Client, DistanceService, PathService, Point
+from repro.errors import UnreachableFacilityError
+from repro.datasets import small_office
+from tests.conftest import build_corridor_venue, make_clients
+
+
+@pytest.fixture(scope="module")
+def corridor():
+    venue, rooms, corridor_id = build_corridor_venue(rooms=6, width=60)
+    return venue, rooms, corridor_id, PathService(venue)
+
+
+@pytest.fixture(scope="module")
+def office():
+    venue = small_office(levels=2, rooms=20)
+    return venue, PathService(venue), DistanceService(venue)
+
+
+class TestDoorSequence:
+    def test_identity(self, corridor):
+        venue, _, _, paths = corridor
+        door = next(venue.door_ids())
+        assert paths.door_sequence(door, door) == (0.0, [door])
+
+    def test_sequence_endpoints(self, corridor):
+        venue, _, _, paths = corridor
+        doors = sorted(venue.door_ids())
+        dist, seq = paths.door_sequence(doors[0], doors[5])
+        assert seq[0] == doors[0]
+        assert seq[-1] == doors[5]
+        assert dist == pytest.approx(50.0)
+
+    def test_distance_matches_exact_service(self, office):
+        venue, paths, exact = office
+        doors = sorted(venue.door_ids())
+        for a, b in zip(doors, doors[4:]):
+            dist, seq = paths.door_sequence(a, b)
+            assert dist == pytest.approx(exact.door_to_door(a, b))
+            assert seq
+
+
+class TestRoutes:
+    def test_route_inside_target(self, corridor):
+        venue, rooms, _, paths = corridor
+        client = Client(0, venue.partition(rooms[0]).center, rooms[0])
+        route = paths.route_to_partition(client, rooms[0])
+        assert route.distance == 0.0
+        assert route.legs == ()
+
+    def test_route_distance_matches_idist(self, office):
+        venue, paths, exact = office
+        clients = make_clients(venue, 8, seed=40)
+        targets = sorted(venue.partition_ids())[::5]
+        for client in clients:
+            for target in targets:
+                if target == client.partition_id:
+                    continue
+                route = paths.route_to_partition(client, target)
+                want = exact.point_to_partition(
+                    client.location, client.partition_id, target
+                )
+                assert route.distance == pytest.approx(want)
+
+    def test_leg_distances_sum_to_total(self, office):
+        venue, paths, _ = office
+        client = make_clients(venue, 1, seed=41)[0]
+        target = next(
+            pid for pid in venue.partition_ids()
+            if pid != client.partition_id
+        )
+        route = paths.route_to_partition(client, target)
+        assert sum(leg.distance for leg in route.legs) == pytest.approx(
+            route.distance
+        )
+
+    def test_legs_are_contiguous(self, office):
+        venue, paths, _ = office
+        client = make_clients(venue, 1, seed=42)[0]
+        targets = sorted(venue.partition_ids())
+        route = paths.route_to_partition(client, targets[-1])
+        for prev, nxt in zip(route.legs, route.legs[1:]):
+            assert prev.end == nxt.start
+
+    def test_route_crosses_levels(self, office):
+        venue, paths, _ = office
+        level0 = [
+            p.partition_id for p in venue.partitions()
+            if p.kind.value == "room" and p.level == 0
+        ]
+        level1 = [
+            p.partition_id for p in venue.partitions()
+            if p.kind.value == "room" and p.level == 1
+        ]
+        client = Client(
+            0, venue.partition(level0[0]).center, level0[0]
+        )
+        route = paths.route_to_partition(client, level1[0])
+        levels = {
+            venue.partition(leg.partition).level for leg in route.legs
+        }
+        assert levels == {0, 1}
+
+    def test_unreachable_raises(self):
+        from repro import Rect, VenueBuilder
+
+        builder = VenueBuilder()
+        a = builder.add_room(Rect(0, 0, 5, 5))
+        b = builder.add_room(Rect(5, 0, 10, 5))
+        builder.connect(a, b)
+        c = builder.add_room(Rect(20, 0, 25, 5))
+        d = builder.add_room(Rect(25, 0, 30, 5))
+        builder.connect(c, d)
+        venue = builder.build(validate=False)
+        paths = PathService(venue)
+        client = Client(0, venue.partition(a).center, a)
+        with pytest.raises(UnreachableFacilityError):
+            paths.route_to_partition(client, c)
+
+    def test_describe(self, office):
+        venue, paths, _ = office
+        client = make_clients(venue, 1, seed=43)[0]
+        target = next(
+            pid for pid in venue.partition_ids()
+            if pid != client.partition_id
+        )
+        route = paths.route_to_partition(client, target)
+        text = paths.describe(route)
+        assert "total distance" in text
+
+    def test_describe_trivial(self, corridor):
+        venue, rooms, _, paths = corridor
+        client = Client(0, venue.partition(rooms[0]).center, rooms[0])
+        route = paths.route_to_partition(client, rooms[0])
+        assert "already there" in paths.describe(route)

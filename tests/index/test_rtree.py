@@ -1,0 +1,141 @@
+"""Unit and property tests for the R-tree and partition locator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Point, Rect
+from repro.index.rtree import PartitionLocator, RTree
+from repro.datasets import small_office, venue_by_name
+
+
+def random_rects(count, rng, extent=100.0):
+    out = []
+    for _ in range(count):
+        x = rng.uniform(0, extent)
+        y = rng.uniform(0, extent)
+        w = rng.uniform(0.5, 10)
+        h = rng.uniform(0.5, 10)
+        out.append(Rect(x, y, x + w, y + h))
+    return out
+
+
+class TestRTree:
+    def test_empty(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.nearest(Point(0, 0)) is None
+        assert list(tree.query_point(Point(0, 0))) == []
+
+    def test_min_entries_validation(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)
+
+    def test_insert_and_point_query(self):
+        tree = RTree()
+        rects = random_rects(100, random.Random(1))
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        assert len(tree) == 100
+        probe = Point(50, 50)
+        got = {v for _r, v in tree.query_point(probe)}
+        want = {i for i, r in enumerate(rects) if r.contains(probe)}
+        assert got == want
+
+    def test_window_query_matches_scan(self):
+        rng = random.Random(2)
+        tree = RTree(max_entries=6)
+        rects = random_rects(200, rng)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        window = Rect(20, 20, 60, 60)
+        got = {v for _r, v in tree.query_window(window)}
+        want = {
+            i
+            for i, r in enumerate(rects)
+            if not (
+                r.max_x < window.min_x or window.max_x < r.min_x
+                or r.max_y < window.min_y or window.max_y < r.min_y
+            )
+        }
+        assert got == want
+
+    def test_nearest_matches_scan(self):
+        rng = random.Random(3)
+        tree = RTree()
+        rects = random_rects(150, rng)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        for _ in range(20):
+            probe = Point(rng.uniform(-20, 120), rng.uniform(-20, 120))
+            found = tree.nearest(probe)
+            assert found is not None
+            _rect, _value, dist = found
+            best = min(r.distance_to_point(probe) for r in rects)
+            assert dist == pytest.approx(best)
+
+    def test_tree_grows_in_height(self):
+        tree = RTree(max_entries=4)
+        for i, rect in enumerate(random_rects(200, random.Random(4))):
+            tree.insert(rect, i)
+        assert tree.height >= 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        count=st.integers(1, 80),
+        px=st.floats(-10, 110),
+        py=st.floats(-10, 110),
+    )
+    def test_point_query_property(self, seed, count, px, py):
+        rng = random.Random(seed)
+        tree = RTree(max_entries=5)
+        rects = random_rects(count, rng)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        probe = Point(px, py)
+        got = {v for _r, v in tree.query_point(probe)}
+        want = {i for i, r in enumerate(rects) if r.contains(probe)}
+        assert got == want
+
+
+class TestPartitionLocator:
+    def test_matches_linear_locate(self):
+        venue = small_office(levels=2, rooms=24)
+        locator = PartitionLocator(venue)
+        rng = random.Random(5)
+        bounds = venue.bounding_rect()
+        for _ in range(100):
+            point = Point(
+                rng.uniform(bounds.min_x - 5, bounds.max_x + 5),
+                rng.uniform(bounds.min_y - 5, bounds.max_y + 5),
+                rng.choice(venue.levels),
+            )
+            assert locator.locate(point) == venue.locate(point)
+
+    def test_unknown_level(self):
+        venue = small_office()
+        locator = PartitionLocator(venue)
+        assert locator.locate(Point(1, 1, 99)) is None
+        assert locator.nearest_partition(Point(1, 1, 99)) is None
+
+    def test_nearest_partition(self):
+        venue = venue_by_name("CPH")
+        locator = PartitionLocator(venue)
+        outside = Point(-50.0, -50.0, 0)
+        found = locator.nearest_partition(outside)
+        assert found is not None
+        pid, dist = found
+        best = min(
+            venue.partition(p).rect.distance_to_point(outside)
+            for p in venue.partitions_on_level(0)
+        )
+        assert dist == pytest.approx(best)
+
+    def test_paper_venue_coverage(self):
+        venue = venue_by_name("CPH")
+        locator = PartitionLocator(venue)
+        for partition in venue.partitions():
+            assert locator.locate(partition.center) is not None

@@ -1,0 +1,99 @@
+"""Unit tests for the top-down facility search (NN / range)."""
+
+import pytest
+
+from repro import FacilitySearch, VIPTree
+from repro.index.distance import VIPDistanceEngine
+from repro.datasets import small_office
+from tests.conftest import make_clients
+
+
+@pytest.fixture(scope="module")
+def setup():
+    venue = small_office(levels=2, rooms=24)
+    engine = VIPDistanceEngine(VIPTree(venue))
+    rooms = sorted(
+        p.partition_id for p in venue.partitions()
+        if p.kind.value == "room"
+    )
+    facilities = frozenset(rooms[::3])
+    return venue, engine, facilities
+
+
+def brute_nearest(engine, client, facilities):
+    return min(
+        ((pid, engine.idist(client, pid)) for pid in facilities),
+        key=lambda item: (item[1], item[0]),
+    )
+
+
+class TestNearest:
+    def test_matches_brute_force(self, setup):
+        venue, engine, facilities = setup
+        search = FacilitySearch(engine, facilities)
+        for client in make_clients(venue, 25, seed=20):
+            got = search.nearest(client)
+            want = brute_nearest(engine, client, facilities)
+            assert got is not None
+            assert got[1] == pytest.approx(want[1])
+
+    def test_client_inside_facility(self, setup):
+        venue, engine, facilities = setup
+        search = FacilitySearch(engine, facilities)
+        pid = next(iter(facilities))
+        rect = venue.partition(pid).rect
+        from repro import Client
+
+        client = Client(0, rect.center, pid)
+        assert search.nearest(client) == (pid, 0.0)
+
+    def test_empty_facility_set(self, setup):
+        venue, engine, _ = setup
+        search = FacilitySearch(engine, frozenset())
+        client = make_clients(venue, 1, seed=21)[0]
+        assert search.nearest(client) is None
+
+
+class TestIterByDistance:
+    def test_yields_in_nondecreasing_order(self, setup):
+        venue, engine, facilities = setup
+        search = FacilitySearch(engine, facilities)
+        for client in make_clients(venue, 10, seed=22):
+            dists = [d for _pid, d in search.iter_by_distance(client)]
+            assert dists == sorted(dists)
+            assert len(dists) == len(facilities)
+
+    def test_yields_each_facility_once(self, setup):
+        venue, engine, facilities = setup
+        search = FacilitySearch(engine, facilities)
+        client = make_clients(venue, 1, seed=23)[0]
+        pids = [pid for pid, _d in search.iter_by_distance(client)]
+        assert sorted(pids) == sorted(facilities)
+
+    def test_distances_are_exact(self, setup):
+        venue, engine, facilities = setup
+        search = FacilitySearch(engine, facilities)
+        client = make_clients(venue, 1, seed=24)[0]
+        for pid, dist in search.iter_by_distance(client):
+            assert dist == pytest.approx(engine.idist(client, pid))
+
+
+class TestWithin:
+    def test_strict_excludes_radius(self, setup):
+        venue, engine, facilities = setup
+        search = FacilitySearch(engine, facilities)
+        client = make_clients(venue, 1, seed=25)[0]
+        everything = search.within(client, float("inf"))
+        assert len(everything) == len(facilities)
+        _, third = everything[2]
+        strict = search.within(client, third, strict=True)
+        lax = search.within(client, third, strict=False)
+        assert all(d < third for _p, d in strict)
+        assert all(d <= third for _p, d in lax)
+        assert len(lax) >= len(strict)
+
+    def test_zero_radius(self, setup):
+        venue, engine, facilities = setup
+        search = FacilitySearch(engine, facilities)
+        client = make_clients(venue, 1, seed=26)[0]
+        assert search.within(client, 0.0, strict=True) == []

@@ -1,0 +1,95 @@
+"""Property-based tests: VIP-tree distances equal door-graph Dijkstra.
+
+Venues are generated from random building specs (random level/room
+configurations of the procedural generator), so the equality is checked
+across many topologies: single floors, towers, halls with double doors.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DistanceService, VIPTree
+from repro.datasets import STACK, CHAIN, BuildingSpec, generate_building
+
+
+@st.composite
+def building_specs(draw):
+    layout = draw(st.sampled_from([STACK, CHAIN]))
+    if layout == STACK:
+        levels = draw(st.integers(1, 3))
+        corridors = draw(st.integers(1, 2))
+        segments = draw(st.integers(1, 3))
+        rooms = draw(st.integers(corridors * levels, 24))
+        rooms = max(rooms, 3)
+        links = draw(st.integers(1, 2)) if corridors > 1 else 0
+        vertical = draw(st.integers(1, 2))
+    else:
+        levels = 1
+        corridors = draw(st.integers(2, 4))
+        segments = 1
+        rooms = draw(st.integers(corridors, 20))
+        links = corridors - 1
+        vertical = 1
+    return BuildingSpec(
+        name="prop",
+        levels=levels,
+        corridors_per_level=corridors,
+        rooms=rooms,
+        layout=layout,
+        segments_per_corridor=segments,
+        corridor_links_per_level=links,
+        vertical_links_per_gap=vertical,
+        double_door_rooms=draw(st.integers(0, min(3, rooms))),
+        exterior_doors=draw(st.integers(0, 2)),
+        width=60.0,
+    )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(spec=building_specs(), leaf_capacity=st.integers(2, 10))
+def test_vip_distance_equals_dijkstra(spec, leaf_capacity):
+    venue = generate_building(spec)
+    tree = VIPTree(venue, leaf_capacity=leaf_capacity)
+    exact = DistanceService(venue)
+    doors = sorted(venue.door_ids())
+    # All pairs on small venues; sampled diagonal slices on larger ones.
+    pairs = (
+        itertools.combinations(doors, 2)
+        if len(doors) <= 18
+        else zip(doors, doors[5:] + doors[:5])
+    )
+    for a, b in pairs:
+        assert tree.door_to_door(a, b) == pytest.approx(
+            exact.door_to_door(a, b)
+        ), (spec, a, b)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(spec=building_specs())
+def test_imind_node_is_admissible(spec):
+    """iMinD(p, N) lower-bounds iMinD(p, q) for every q inside N."""
+    from repro.index.distance import VIPDistanceEngine
+
+    venue = generate_building(spec)
+    engine = VIPDistanceEngine(VIPTree(venue))
+    pids = sorted(venue.partition_ids())
+    probes = pids[:: max(1, len(pids) // 6)]
+    for pid in probes:
+        for node in engine.tree.nodes:
+            bound = engine.imind_node(pid, node)
+            members = node.partitions[:: max(1, len(node.partitions) // 4)]
+            for member in members:
+                assert (
+                    bound <= engine.imind_partitions(pid, member) + 1e-9
+                )

@@ -1,0 +1,99 @@
+"""Unit tests for VIP-tree distance matrices and door-to-door lookups."""
+
+import itertools
+
+import pytest
+
+from repro import DistanceService, VIPTree
+from repro.datasets import small_office
+from tests.conftest import build_corridor_venue
+
+
+@pytest.fixture(scope="module")
+def corridor_tree():
+    venue, rooms, corridor_id = build_corridor_venue(rooms=12, width=60)
+    return venue, VIPTree(venue, leaf_capacity=5), DistanceService(venue)
+
+
+@pytest.fixture(scope="module")
+def office_tree():
+    venue = small_office(levels=3, rooms=30)
+    return venue, VIPTree(venue), DistanceService(venue)
+
+
+class TestMatrices:
+    def test_rows_exist_for_all_access_doors(self, corridor_tree):
+        _, tree, _ = corridor_tree
+        access = set()
+        for node in tree.nodes:
+            access.update(node.access_doors)
+        assert set(tree.rows) == access
+
+    def test_rows_hold_exact_distances(self, corridor_tree):
+        venue, tree, exact = corridor_tree
+        for source, row in tree.rows.items():
+            for target, dist in row.items():
+                assert dist == pytest.approx(
+                    exact.door_to_door(source, target)
+                )
+
+    def test_local_matrices_cover_leaf_doors(self, corridor_tree):
+        venue, tree, _ = corridor_tree
+        for leaf in tree.leaves():
+            matrix = tree.local[leaf.node_id]
+            for door in leaf.doors:
+                assert (door, door) in matrix
+                assert matrix[(door, door)] == 0.0
+
+    def test_local_distances_never_below_global(self, corridor_tree):
+        venue, tree, exact = corridor_tree
+        for leaf in tree.leaves():
+            for (a, b), dist in tree.local[leaf.node_id].items():
+                assert dist >= exact.door_to_door(a, b) - 1e-9
+
+    def test_matrix_entry_count_positive(self, corridor_tree):
+        _, tree, _ = corridor_tree
+        assert tree.matrix_entry_count() > 0
+        assert tree.access_door_count() == len(tree.rows)
+
+
+class TestDoorToDoor:
+    def test_matches_dijkstra_everywhere_corridor(self, corridor_tree):
+        venue, tree, exact = corridor_tree
+        doors = sorted(venue.door_ids())
+        for a, b in itertools.combinations(doors, 2):
+            assert tree.door_to_door(a, b) == pytest.approx(
+                exact.door_to_door(a, b)
+            ), (a, b)
+
+    def test_matches_dijkstra_everywhere_office(self, office_tree):
+        venue, tree, exact = office_tree
+        doors = sorted(venue.door_ids())
+        for a, b in itertools.combinations(doors, 2):
+            assert tree.door_to_door(a, b) == pytest.approx(
+                exact.door_to_door(a, b)
+            ), (a, b)
+
+    def test_identity_and_symmetry(self, office_tree):
+        venue, tree, _ = office_tree
+        doors = sorted(venue.door_ids())
+        assert tree.door_to_door(doors[0], doors[0]) == 0.0
+        assert tree.door_to_door(doors[0], doors[5]) == pytest.approx(
+            tree.door_to_door(doors[5], doors[0])
+        )
+
+    def test_triangle_inequality(self, office_tree):
+        venue, tree, _ = office_tree
+        doors = sorted(venue.door_ids())[:10]
+        for a, b, c in itertools.permutations(doors, 3):
+            ab = tree.door_to_door(a, b)
+            bc = tree.door_to_door(b, c)
+            ac = tree.door_to_door(a, c)
+            assert ac <= ab + bc + 1e-6
+
+
+class TestStructureProperties:
+    def test_height_and_counts(self, office_tree):
+        _, tree, _ = office_tree
+        assert tree.height >= 1
+        assert tree.leaf_count <= tree.node_count

@@ -1,0 +1,66 @@
+"""Unit tests for venue analysis."""
+
+import pytest
+
+from repro.datasets import small_office, venue_by_name
+from repro.indoor.analysis import analyse_venue, compare_to_paper
+
+
+class TestAnalyseVenue:
+    def test_basic_counts(self):
+        venue = small_office(levels=2, rooms=24)
+        stats = analyse_venue(venue)
+        assert stats.partitions == venue.partition_count
+        assert stats.doors == venue.door_count
+        assert stats.levels == 2
+        assert dict(stats.kind_counts)["room"] == 24
+
+    def test_partitions_per_level_sum(self):
+        venue = small_office(levels=3, rooms=30)
+        stats = analyse_venue(venue)
+        assert sum(
+            count for _lvl, count in stats.partitions_per_level
+        ) == venue.partition_count
+
+    def test_degree_histogram_sums_to_partitions(self):
+        venue = small_office()
+        stats = analyse_venue(venue)
+        assert sum(
+            count for _deg, count in stats.door_degree_histogram
+        ) == venue.partition_count
+
+    def test_mean_degree(self):
+        venue = small_office()
+        stats = analyse_venue(venue)
+        total = sum(
+            deg * count for deg, count in stats.door_degree_histogram
+        )
+        assert stats.mean_doors_per_partition == pytest.approx(
+            total / venue.partition_count
+        )
+
+    def test_describe_contains_key_lines(self):
+        stats = analyse_venue(small_office())
+        text = stats.describe()
+        assert "partitions:" in text
+        assert "doors:" in text
+        assert "footprint:" in text
+
+    def test_cph_exterior_doors(self):
+        stats = analyse_venue(venue_by_name("CPH"))
+        assert stats.exterior_doors == 8
+        assert stats.footprint[0] == pytest.approx(2000.0)
+
+
+class TestCompareToPaper:
+    def test_match(self):
+        venue = venue_by_name("MC")
+        result = compare_to_paper(venue, 298, 299)
+        assert result == {
+            "partitions_match": True, "doors_match": True,
+        }
+
+    def test_mismatch(self):
+        venue = venue_by_name("MC")
+        result = compare_to_paper(venue, 300, 299)
+        assert not result["partitions_match"]

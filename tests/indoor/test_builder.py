@@ -1,0 +1,90 @@
+"""Unit tests for VenueBuilder."""
+
+import pytest
+
+from repro import PartitionKind, Point, Rect, VenueBuilder, VenueError
+
+
+class TestPartitions:
+    def test_ids_are_sequential(self):
+        builder = VenueBuilder()
+        assert builder.add_room(Rect(0, 0, 1, 1)) == 0
+        assert builder.add_corridor(Rect(1, 0, 2, 1)) == 1
+        assert builder.add_hall(Rect(2, 0, 3, 1)) == 2
+
+    def test_kinds(self):
+        builder = VenueBuilder()
+        room = builder.add_room(Rect(0, 0, 2, 2))
+        hall = builder.add_hall(Rect(2, 0, 6, 2))
+        builder.connect(room, hall)
+        venue = builder.build()
+        assert venue.partition(room).kind is PartitionKind.ROOM
+        assert venue.partition(hall).kind is PartitionKind.HALL
+
+    def test_category_stored(self):
+        builder = VenueBuilder()
+        a = builder.add_room(Rect(0, 0, 2, 2), category="dining")
+        b = builder.add_room(Rect(2, 0, 4, 2))
+        builder.connect(a, b)
+        venue = builder.build()
+        assert venue.partition(a).category == "dining"
+        assert venue.partition(b).category is None
+
+    def test_stair_length_must_be_positive(self):
+        builder = VenueBuilder()
+        with pytest.raises(VenueError):
+            builder.add_staircase(Rect(0, 0, 2, 2), stair_length=0)
+
+
+class TestDoors:
+    def test_connect_places_door_on_shared_wall(self):
+        builder = VenueBuilder()
+        a = builder.add_room(Rect(0, 0, 5, 5))
+        b = builder.add_room(Rect(5, 0, 10, 5))
+        builder.connect(a, b)
+        venue = builder.build()
+        door = next(venue.doors())
+        assert door.location.x == 5.0
+        assert 0 <= door.location.y <= 5
+
+    def test_connect_explicit_location(self):
+        builder = VenueBuilder()
+        a = builder.add_room(Rect(0, 0, 5, 5))
+        b = builder.add_room(Rect(5, 0, 10, 5))
+        builder.connect(a, b, at=Point(5, 1, 0))
+        venue = builder.build()
+        assert next(venue.doors()).location == Point(5, 1, 0)
+
+    def test_connect_levels_builds_staircase(self):
+        builder = VenueBuilder()
+        lower = builder.add_corridor(Rect(0, 0, 20, 4, level=0))
+        upper = builder.add_corridor(Rect(0, 0, 20, 4, level=1))
+        stair = builder.connect_levels(
+            lower, upper, at=Point(2, 2, 0), stair_length=7.0
+        )
+        venue = builder.build()
+        partition = venue.partition(stair)
+        assert partition.kind is PartitionKind.STAIRCASE
+        assert partition.stair_length == 7.0
+        assert len(venue.doors_of(stair)) == 2
+        levels = sorted(
+            venue.door(d).location.level for d in venue.doors_of(stair)
+        )
+        assert levels == [0, 1]
+
+    def test_connect_levels_requires_consecutive_levels(self):
+        builder = VenueBuilder()
+        lower = builder.add_corridor(Rect(0, 0, 20, 4, level=0))
+        upper = builder.add_corridor(Rect(0, 0, 20, 4, level=2))
+        with pytest.raises(VenueError):
+            builder.connect_levels(
+                lower, upper, at=Point(2, 2, 0), stair_length=7.0
+            )
+
+    def test_counts_track_additions(self):
+        builder = VenueBuilder()
+        a = builder.add_room(Rect(0, 0, 5, 5))
+        b = builder.add_room(Rect(5, 0, 10, 5))
+        builder.connect(a, b)
+        assert builder.partition_count == 2
+        assert builder.door_count == 1

@@ -1,0 +1,127 @@
+"""Unit tests for the exact (Dijkstra-backed) distance service."""
+
+import math
+
+import pytest
+
+from repro import DistanceService, Point, Rect, VenueBuilder
+from tests.conftest import build_corridor_venue
+
+
+@pytest.fixture(scope="module")
+def service():
+    venue, rooms, corridor_id = build_corridor_venue(rooms=5, width=50)
+    return venue, rooms, corridor_id, DistanceService(venue)
+
+
+class TestDoorToDoor:
+    def test_identity(self, service):
+        venue, _, _, svc = service
+        door = next(venue.door_ids())
+        assert svc.door_to_door(door, door) == 0.0
+
+    def test_symmetry(self, service):
+        venue, _, _, svc = service
+        doors = sorted(venue.door_ids())
+        assert svc.door_to_door(doors[0], doors[3]) == pytest.approx(
+            svc.door_to_door(doors[3], doors[0])
+        )
+
+    def test_corridor_distance(self, service):
+        venue, _, _, svc = service
+        doors = sorted(venue.door_ids())
+        assert svc.door_to_door(doors[1], doors[4]) == pytest.approx(30.0)
+
+
+class TestPointDistances:
+    def test_point_to_point_same_partition(self, service):
+        venue, rooms, _, svc = service
+        d = svc.point_to_point(
+            Point(1, 1, 0), rooms[0], Point(4, 1, 0), rooms[0]
+        )
+        assert d == pytest.approx(3.0)
+
+    def test_point_to_point_through_corridor(self, service):
+        venue, rooms, _, svc = service
+        # Room 0 door at (5, 4); room 4 door at (45, 4).
+        a = Point(5, 4, 0)   # at the door of room 0
+        b = Point(45, 4, 0)  # at the door of room 4
+        d = svc.point_to_point(a, rooms[0], b, rooms[4])
+        assert d == pytest.approx(40.0)
+
+    def test_point_to_partition_zero_inside(self, service):
+        venue, rooms, _, svc = service
+        assert svc.point_to_partition(
+            Point(1, 1, 0), rooms[0], rooms[0]
+        ) == 0.0
+
+    def test_point_to_partition_is_distance_to_nearest_door(self, service):
+        venue, rooms, _, svc = service
+        # From room 0's door straight along the corridor to room 1's door.
+        d = svc.point_to_partition(Point(5, 4, 0), rooms[0], rooms[1])
+        assert d == pytest.approx(10.0)
+
+    def test_point_to_partition_includes_offset(self, service):
+        venue, rooms, _, svc = service
+        # 3 below the door adds 3 to the path.
+        d = svc.point_to_partition(Point(5, 1, 0), rooms[0], rooms[1])
+        assert d == pytest.approx(13.0)
+
+
+class TestPartitionDistances:
+    def test_identity(self, service):
+        _, rooms, _, svc = service
+        assert svc.partition_to_partition(rooms[0], rooms[0]) == 0.0
+
+    def test_adjacent_partitions(self, service):
+        _, rooms, corridor_id, svc = service
+        # A room and its corridor share a door: iMinD = 0.
+        assert svc.partition_to_partition(rooms[0], corridor_id) == 0.0
+
+    def test_room_to_room(self, service):
+        _, rooms, _, svc = service
+        assert svc.partition_to_partition(
+            rooms[0], rooms[2]
+        ) == pytest.approx(20.0)
+
+    def test_lower_bounds_point_distance(self, service):
+        venue, rooms, _, svc = service
+        lower = svc.partition_to_partition(rooms[0], rooms[3])
+        actual = svc.point_to_partition(Point(2, 2, 0), rooms[0], rooms[3])
+        assert lower <= actual + 1e-9
+
+
+class TestMultiLevel:
+    def test_staircase_cost_included(self):
+        builder = VenueBuilder()
+        lower = builder.add_corridor(Rect(0, 0, 20, 4, level=0))
+        upper = builder.add_corridor(Rect(0, 0, 20, 4, level=1))
+        room_low = builder.add_room(Rect(0, 4, 10, 10, level=0))
+        room_up = builder.add_room(Rect(0, 4, 10, 10, level=1))
+        d_low = builder.add_door(Point(5, 4, 0), room_low, lower)
+        d_up = builder.add_door(Point(5, 4, 1), room_up, upper)
+        builder.connect_levels(
+            lower, upper, at=Point(15, 2, 0), stair_length=9.0
+        )
+        venue = builder.build()
+        svc = DistanceService(venue)
+        d = svc.door_to_door(d_low, d_up)
+        # door -> stair base (10.2...) + stairs (9) + stair top -> door.
+        walk = math.hypot(15 - 5, 2 - 4)
+        assert d == pytest.approx(2 * walk + 9.0)
+
+
+class TestErrorPaths:
+    def test_unknown_target_partition_raises(self, service):
+        from repro.errors import UnknownEntityError
+
+        venue, rooms, _, svc = service
+        with pytest.raises(UnknownEntityError):
+            svc.point_to_partition(Point(1, 1, 0), rooms[0], 98765)
+
+    def test_cached_rows_are_reused_symmetrically(self, service):
+        venue, _, _, svc = service
+        doors = sorted(venue.door_ids())
+        first = svc.door_to_door(doors[0], doors[2])
+        # The reverse direction should reuse the cached row.
+        assert svc.door_to_door(doors[2], doors[0]) == pytest.approx(first)

@@ -1,0 +1,117 @@
+"""Unit tests for the door graph and its shortest paths."""
+
+import math
+
+import pytest
+
+from repro import DoorGraph, Point, Rect, VenueBuilder
+from repro.errors import UnknownEntityError
+from tests.conftest import build_corridor_venue
+
+
+@pytest.fixture(scope="module")
+def corridor():
+    venue, rooms, corridor_id = build_corridor_venue(rooms=5, width=50)
+    return venue, rooms, corridor_id, DoorGraph(venue)
+
+
+class TestConstruction:
+    def test_vertices_are_doors(self, corridor):
+        venue, _, _, graph = corridor
+        assert graph.door_count == venue.door_count
+
+    def test_edges_pair_same_partition_doors(self, corridor):
+        venue, rooms, _, graph = corridor
+        # All 5 doors share the corridor: complete graph K5 = 10 edges.
+        assert graph.edge_count == 10
+
+    def test_edge_weights_are_intra_partition_distances(self, corridor):
+        venue, _, _, graph = corridor
+        door_ids = sorted(venue.door_ids())
+        edges = {b: w for b, w, _p in graph.edges_of(door_ids[0])}
+        # Doors sit at x = 5, 15, 25, 35, 45 on the corridor wall.
+        assert edges[door_ids[1]] == pytest.approx(10.0)
+        assert edges[door_ids[4]] == pytest.approx(40.0)
+
+    def test_edges_of_unknown_door_raises(self, corridor):
+        _, _, _, graph = corridor
+        with pytest.raises(UnknownEntityError):
+            graph.edges_of(999)
+
+
+class TestDijkstra:
+    def test_distances_along_corridor(self, corridor):
+        venue, _, _, graph = corridor
+        door_ids = sorted(venue.door_ids())
+        dist = graph.dijkstra(door_ids[0])
+        assert dist[door_ids[0]] == 0.0
+        assert dist[door_ids[3]] == pytest.approx(30.0)
+
+    def test_early_termination_with_targets(self, corridor):
+        venue, _, _, graph = corridor
+        door_ids = sorted(venue.door_ids())
+        dist = graph.dijkstra(door_ids[0], targets=[door_ids[1]])
+        assert dist[door_ids[1]] == pytest.approx(10.0)
+
+    def test_allowed_partitions_restricts_search(self):
+        # Two rooms connected both directly and via a corridor detour.
+        builder = VenueBuilder()
+        a = builder.add_room(Rect(0, 0, 10, 10))
+        b = builder.add_room(Rect(10, 0, 20, 10))
+        corridor_id = builder.add_corridor(Rect(0, 10, 20, 14))
+        d_ab = builder.add_door(Point(10, 5, 0), a, b)
+        d_ac = builder.add_door(Point(5, 10, 0), a, corridor_id)
+        d_bc = builder.add_door(Point(15, 10, 0), b, corridor_id)
+        venue = builder.build()
+        graph = DoorGraph(venue)
+        unrestricted = graph.dijkstra(d_ac)
+        assert d_bc in unrestricted
+        restricted = graph.dijkstra(
+            d_ac, allowed_partitions=frozenset({a, b})
+        )
+        # Without the corridor, d_ac reaches d_bc only through a and b.
+        assert restricted[d_bc] == pytest.approx(
+            unrestricted[d_ac]
+            + venue.partition(a).intra_distance(
+                venue.door(d_ac).location, venue.door(d_ab).location
+            )
+            + venue.partition(b).intra_distance(
+                venue.door(d_ab).location, venue.door(d_bc).location
+            )
+        )
+
+    def test_unknown_source_raises(self, corridor):
+        _, _, _, graph = corridor
+        with pytest.raises(UnknownEntityError):
+            graph.dijkstra(999)
+
+
+class TestPaths:
+    def test_shortest_path_sequence(self, corridor):
+        venue, _, _, graph = corridor
+        door_ids = sorted(venue.door_ids())
+        dist, path = graph.shortest_path(door_ids[0], door_ids[4])
+        assert dist == pytest.approx(40.0)
+        assert path[0] == door_ids[0]
+        assert path[-1] == door_ids[4]
+
+    def test_unreachable_returns_infinity(self):
+        builder = VenueBuilder()
+        a = builder.add_room(Rect(0, 0, 5, 5))
+        b = builder.add_room(Rect(5, 0, 10, 5))
+        d1 = builder.connect(a, b)
+        c = builder.add_room(Rect(20, 0, 25, 5))
+        d = builder.add_room(Rect(25, 0, 30, 5))
+        d2 = builder.connect(c, d)
+        venue = builder.build(validate=False)  # deliberately disconnected
+        graph = DoorGraph(venue)
+        dist, path = graph.shortest_path(d1, d2)
+        assert math.isinf(dist)
+        assert path == []
+
+    def test_paths_match_distances(self, corridor):
+        venue, _, _, graph = corridor
+        door_ids = sorted(venue.door_ids())
+        dist_map, parents = graph.dijkstra_with_paths(door_ids[2])
+        plain = graph.dijkstra(door_ids[2])
+        assert dist_map == plain

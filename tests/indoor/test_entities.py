@@ -1,0 +1,87 @@
+"""Unit tests for partitions, doors, clients, and facility sets."""
+
+import pytest
+
+from repro import Partition, PartitionKind, Point, Rect, FacilitySets
+from repro.indoor.entities import Door
+
+
+class TestPartition:
+    def test_intra_distance_euclidean_for_rooms(self):
+        p = Partition(0, Rect(0, 0, 10, 10))
+        assert p.intra_distance(
+            Point(0, 0, 0), Point(3, 4, 0)
+        ) == pytest.approx(5.0)
+
+    def test_staircase_uses_fixed_length_across_levels(self):
+        stair = Partition(
+            1,
+            Rect(0, 0, 2, 2, level=0),
+            kind=PartitionKind.STAIRCASE,
+            stair_length=6.5,
+        )
+        bottom = Point(1, 1, 0)
+        top = Point(1, 1, 1)
+        assert stair.intra_distance(bottom, top) == 6.5
+        # Same-level movement inside the stairwell stays planar.
+        assert stair.intra_distance(bottom, Point(2, 1, 0)) == 1.0
+
+    def test_staircase_contains_both_levels(self):
+        stair = Partition(
+            1, Rect(0, 0, 2, 2, level=3),
+            kind=PartitionKind.STAIRCASE, stair_length=5,
+        )
+        assert stair.contains(Point(1, 1, 3))
+        assert stair.contains(Point(1, 1, 4))
+        assert not stair.contains(Point(1, 1, 5))
+
+    def test_level_and_center(self):
+        p = Partition(2, Rect(0, 0, 4, 2, level=7))
+        assert p.level == 7
+        assert p.center == Point(2, 1, 7)
+
+
+class TestDoor:
+    def test_partitions_interior(self):
+        d = Door(0, Point(0, 0, 0), partition_a=1, partition_b=2)
+        assert d.partitions() == (1, 2)
+        assert not d.is_exterior
+
+    def test_partitions_exterior(self):
+        d = Door(0, Point(0, 0, 0), partition_a=1)
+        assert d.partitions() == (1,)
+        assert d.is_exterior
+
+    def test_other_side(self):
+        d = Door(0, Point(0, 0, 0), partition_a=1, partition_b=2)
+        assert d.other_side(1) == 2
+        assert d.other_side(2) == 1
+
+    def test_other_side_exterior_is_none(self):
+        d = Door(0, Point(0, 0, 0), partition_a=1)
+        assert d.other_side(1) is None
+
+    def test_other_side_rejects_foreign_partition(self):
+        d = Door(0, Point(0, 0, 0), partition_a=1, partition_b=2)
+        with pytest.raises(ValueError):
+            d.other_side(3)
+
+
+class TestFacilitySets:
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            FacilitySets(frozenset({1, 2}), frozenset({2, 3}))
+
+    def test_all_facilities_is_union(self):
+        fs = FacilitySets(frozenset({1}), frozenset({2, 3}))
+        assert fs.all_facilities == {1, 2, 3}
+
+    def test_accepts_plain_iterables(self):
+        fs = FacilitySets([1, 2], (3,))
+        assert fs.existing == {1, 2}
+        assert fs.candidates == {3}
+
+    def test_empty_sets_allowed(self):
+        fs = FacilitySets()
+        assert fs.existing == frozenset()
+        assert fs.candidates == frozenset()

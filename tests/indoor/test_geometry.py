@@ -1,0 +1,104 @@
+"""Unit tests for geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Point, Rect
+from repro.indoor.geometry import midpoint
+
+
+class TestPoint:
+    def test_planar_distance_ignores_level(self):
+        a = Point(0, 0, 0)
+        b = Point(3, 4, 5)
+        assert a.planar_distance(b) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a = Point(1.5, 2.5)
+        b = Point(-3, 7)
+        assert a.planar_distance(b) == pytest.approx(b.planar_distance(a))
+
+    def test_offset_keeps_level(self):
+        p = Point(1, 2, 3).offset(0.5, -1.0)
+        assert (p.x, p.y, p.level) == (1.5, 1.0, 3)
+
+    def test_points_are_hashable_and_equal_by_value(self):
+        assert Point(1, 2, 0) == Point(1, 2, 0)
+        assert len({Point(1, 2, 0), Point(1, 2, 0)}) == 1
+
+    def test_as_tuple(self):
+        assert Point(1, 2, 3).as_tuple() == (1, 2, 3)
+
+    @given(
+        st.floats(-1e6, 1e6), st.floats(-1e6, 1e6),
+        st.floats(-1e6, 1e6), st.floats(-1e6, 1e6),
+    )
+    def test_distance_nonnegative(self, x1, y1, x2, y2):
+        assert Point(x1, y1).planar_distance(Point(x2, y2)) >= 0.0
+
+
+class TestRect:
+    def test_degenerate_rect_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 0, 5)
+
+    def test_dimensions(self):
+        r = Rect(1, 2, 4, 8)
+        assert r.width == 3
+        assert r.height == 6
+        assert r.area == 18
+
+    def test_center(self):
+        c = Rect(0, 0, 10, 4, level=2).center
+        assert (c.x, c.y, c.level) == (5, 2, 2)
+
+    def test_contains_checks_level(self):
+        r = Rect(0, 0, 10, 10, level=1)
+        assert r.contains(Point(5, 5, 1))
+        assert not r.contains(Point(5, 5, 0))
+
+    def test_contains_boundary(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(Point(0, 0, 0))
+        assert r.contains(Point(10, 10, 0))
+        assert not r.contains(Point(10.1, 5, 0))
+
+    def test_clamp_projects_outside_points(self):
+        r = Rect(0, 0, 10, 10, level=3)
+        p = r.clamp(Point(15, -5, 0))
+        assert (p.x, p.y, p.level) == (10, 0, 3)
+
+    def test_distance_to_point_zero_inside(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.distance_to_point(Point(5, 5)) == 0.0
+
+    def test_distance_to_point_outside(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.distance_to_point(Point(13, 14)) == pytest.approx(5.0)
+
+    def test_union_covers_both(self):
+        u = Rect(0, 0, 1, 1).union(Rect(5, 5, 6, 7))
+        assert (u.min_x, u.min_y, u.max_x, u.max_y) == (0, 0, 6, 7)
+
+    def test_sample_grid_points_inside(self):
+        r = Rect(2, 3, 8, 9, level=1)
+        points = list(r.sample_grid(3, 3))
+        assert len(points) == 9
+        assert all(r.contains(p) for p in points)
+
+    @given(
+        st.floats(-100, 100), st.floats(-100, 100),
+        st.floats(0.1, 100), st.floats(0.1, 100),
+        st.floats(-300, 300), st.floats(-300, 300),
+    )
+    def test_clamp_result_always_inside(self, x0, y0, w, h, px, py):
+        r = Rect(x0, y0, x0 + w, y0 + h)
+        assert r.contains(r.clamp(Point(px, py)))
+
+
+def test_midpoint():
+    m = midpoint(Point(0, 0, 2), Point(10, 4, 2))
+    assert (m.x, m.y, m.level) == (5, 2, 2)

@@ -1,0 +1,132 @@
+"""Round-trip tests for venue and workload serialisation."""
+
+import json
+
+import pytest
+
+from repro import DistanceService, FacilitySets, VenueError
+from repro.datasets import figure1_venue, small_office
+from repro.indoor.io import (
+    load_venue,
+    load_workload,
+    save_venue,
+    save_workload,
+    venue_from_dict,
+    venue_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from tests.conftest import make_clients
+
+
+class TestVenueRoundTrip:
+    def test_structure_preserved(self):
+        venue = small_office(levels=2, rooms=16)
+        clone = venue_from_dict(venue_to_dict(venue))
+        assert clone.partition_count == venue.partition_count
+        assert clone.door_count == venue.door_count
+        assert clone.name == venue.name
+        for pid in venue.partition_ids():
+            assert clone.partition(pid).rect == venue.partition(pid).rect
+            assert clone.partition(pid).kind == venue.partition(pid).kind
+
+    def test_distances_preserved(self):
+        venue = small_office(levels=2, rooms=12)
+        clone = venue_from_dict(venue_to_dict(venue))
+        original = DistanceService(venue)
+        copied = DistanceService(clone)
+        doors = sorted(venue.door_ids())
+        for a, b in zip(doors, doors[3:]):
+            assert copied.door_to_door(a, b) == pytest.approx(
+                original.door_to_door(a, b)
+            )
+
+    def test_categories_and_stairs_preserved(self, figure1):
+        venue = figure1[0]
+        clone = venue_from_dict(venue_to_dict(venue))
+        for pid in venue.partition_ids():
+            assert clone.partition(pid).category == (
+                venue.partition(pid).category
+            )
+
+    def test_file_round_trip(self, tmp_path):
+        venue = small_office()
+        path = tmp_path / "venues" / "office.json"
+        save_venue(venue, path)
+        clone = load_venue(path)
+        assert clone.partition_count == venue.partition_count
+
+    def test_format_marker_checked(self):
+        with pytest.raises(VenueError):
+            venue_from_dict({"format": "something-else"})
+
+    def test_exterior_doors_survive(self):
+        venue = small_office()  # has one exterior entrance
+        clone = venue_from_dict(venue_to_dict(venue))
+        exterior = [d for d in clone.doors() if d.is_exterior]
+        assert len(exterior) == 1
+
+    def test_json_serialisable(self):
+        venue = small_office()
+        json.dumps(venue_to_dict(venue))  # must not raise
+
+
+class TestWorkloadRoundTrip:
+    def test_clients_preserved(self):
+        venue = small_office()
+        clients = make_clients(venue, 10, seed=1)
+        loaded, facilities = workload_from_dict(
+            workload_to_dict(clients)
+        )
+        assert facilities is None
+        assert [c.client_id for c in loaded] == [
+            c.client_id for c in clients
+        ]
+        assert [c.location for c in loaded] == [
+            c.location for c in clients
+        ]
+
+    def test_facilities_preserved(self):
+        venue = small_office()
+        clients = make_clients(venue, 5, seed=2)
+        fs = FacilitySets(frozenset({1, 2}), frozenset({5, 6}))
+        loaded, facilities = workload_from_dict(
+            workload_to_dict(clients, fs)
+        )
+        assert facilities is not None
+        assert facilities.existing == fs.existing
+        assert facilities.candidates == fs.candidates
+
+    def test_file_round_trip(self, tmp_path):
+        venue = small_office()
+        clients = make_clients(venue, 8, seed=3)
+        fs = FacilitySets(frozenset({1}), frozenset({4}))
+        path = tmp_path / "workload.json"
+        save_workload(clients, path, fs)
+        loaded, facilities = load_workload(path)
+        assert len(loaded) == 8
+        assert facilities.existing == {1}
+
+    def test_format_marker_checked(self):
+        with pytest.raises(VenueError):
+            workload_from_dict({"format": "nope", "clients": []})
+
+
+class TestQueryEquivalenceAfterRoundTrip:
+    def test_queries_agree_on_clone(self, tmp_path):
+        from repro import IFLSEngine
+
+        venue = small_office(levels=2, rooms=20)
+        clients = make_clients(venue, 20, seed=4)
+        rooms = sorted(
+            p.partition_id for p in venue.partitions()
+            if p.kind.value == "room"
+        )
+        fs = FacilitySets(frozenset(rooms[:3]), frozenset(rooms[5:10]))
+        path = tmp_path / "v.json"
+        save_venue(venue, path)
+        clone = load_venue(path)
+        original = IFLSEngine(venue).query(clients, fs)
+        copied = IFLSEngine(clone).query(clients, fs)
+        assert copied.objective == pytest.approx(original.objective)
+        assert copied.answer == original.answer

@@ -1,0 +1,97 @@
+"""Unit tests for the ASCII floor-plan renderer."""
+
+import pytest
+
+from repro.datasets import figure1_venue, small_office
+from repro.indoor.render import (
+    ANSWER_MARK,
+    CANDIDATE_MARK,
+    CLIENT_MARK,
+    DOOR_MARK,
+    EXISTING_MARK,
+    FloorPlanRenderer,
+    render_result,
+)
+from tests.conftest import make_clients
+
+
+class TestRenderLevel:
+    def test_header_and_dimensions(self):
+        venue = small_office()
+        renderer = FloorPlanRenderer(venue, width=60, height=18)
+        text = renderer.render_level(0)
+        lines = text.splitlines()
+        assert lines[0].startswith("level 0")
+        assert len(lines) == 19  # header + raster rows
+        assert all(len(line) <= 60 for line in lines[1:])
+
+    def test_doors_are_marked(self):
+        venue = small_office()
+        text = FloorPlanRenderer(venue, width=80, height=20).render_level(0)
+        assert DOOR_MARK in text
+
+    def test_clients_are_marked(self):
+        venue = small_office()
+        clients = [
+            c for c in make_clients(venue, 30, seed=1)
+            if c.location.level == 0
+        ]
+        renderer = FloorPlanRenderer(venue, width=80, height=20)
+        without = renderer.render_level(0)
+        with_clients = renderer.render_level(0, clients=clients)
+        assert with_clients.count(CLIENT_MARK) >= without.count(CLIENT_MARK)
+
+    def test_facility_marks(self, figure1):
+        venue, existing, candidates, clients, names = figure1
+        renderer = FloorPlanRenderer(venue, width=100, height=24)
+        text = renderer.render_level(
+            0,
+            existing=existing,
+            candidates=candidates,
+            answer=names["n5"],
+        )
+        assert text.count(ANSWER_MARK) >= 1
+        assert text.count(EXISTING_MARK) >= len(existing) - 1
+        assert text.count(CANDIDATE_MARK) >= 1
+
+    def test_labels(self):
+        venue = small_office()
+        text = FloorPlanRenderer(venue, width=100, height=30).render_level(
+            0, labels=True
+        )
+        assert "0" in text  # partition id label
+
+    def test_too_small_raster_rejected(self):
+        venue = small_office()
+        with pytest.raises(ValueError):
+            FloorPlanRenderer(venue, width=5, height=2)
+
+
+class TestRenderAll:
+    def test_all_levels_rendered_top_first(self):
+        venue = small_office(levels=3, rooms=18)
+        text = FloorPlanRenderer(venue, width=60, height=12).render()
+        positions = [text.index(f"level {i}") for i in (2, 1, 0)]
+        assert positions == sorted(positions)
+
+    def test_render_result_uses_answer_level(self):
+        venue = small_office(levels=2, rooms=16)
+        rooms = sorted(
+            p.partition_id for p in venue.partitions()
+            if p.kind.value == "room" and p.level == 1
+        )
+        text = render_result(
+            venue,
+            clients=[],
+            existing=[],
+            candidates=rooms[:2],
+            answer=rooms[0],
+        )
+        assert text.startswith("level 1")
+
+    def test_render_result_without_answer(self):
+        venue = small_office(levels=2, rooms=16)
+        text = render_result(
+            venue, clients=[], existing=[], candidates=[], answer=None
+        )
+        assert text.startswith("level 0")

@@ -1,0 +1,131 @@
+"""Unit tests for the IndoorVenue topology container."""
+
+import pytest
+
+from repro import (
+    DisconnectedVenueError,
+    Point,
+    Rect,
+    VenueBuilder,
+    VenueError,
+)
+from repro.errors import UnknownEntityError
+from tests.conftest import build_corridor_venue
+
+
+class TestLookups:
+    def test_counts(self, corridor_venue):
+        venue, rooms, _corridor = corridor_venue
+        assert venue.partition_count == len(rooms) + 1
+        assert venue.door_count == len(rooms)
+
+    def test_partition_lookup(self, corridor_venue):
+        venue, rooms, _ = corridor_venue
+        assert venue.partition(rooms[0]).partition_id == rooms[0]
+
+    def test_unknown_partition_raises(self, corridor_venue):
+        venue, _, _ = corridor_venue
+        with pytest.raises(UnknownEntityError):
+            venue.partition(9999)
+
+    def test_unknown_door_raises(self, corridor_venue):
+        venue, _, _ = corridor_venue
+        with pytest.raises(UnknownEntityError):
+            venue.door(9999)
+
+    def test_doors_of(self, corridor_venue):
+        venue, rooms, corridor = corridor_venue
+        assert len(venue.doors_of(rooms[0])) == 1
+        assert len(venue.doors_of(corridor)) == len(rooms)
+
+    def test_levels(self, corridor_venue):
+        venue, _, _ = corridor_venue
+        assert venue.levels == (0,)
+        assert len(venue.partitions_on_level(0)) == venue.partition_count
+
+
+class TestTopology:
+    def test_neighbours(self, corridor_venue):
+        venue, rooms, corridor = corridor_venue
+        assert list(venue.neighbours(rooms[0])) == [corridor]
+        assert set(venue.neighbours(corridor)) == set(rooms)
+
+    def test_connecting_doors(self, corridor_venue):
+        venue, rooms, corridor = corridor_venue
+        doors = venue.connecting_doors(rooms[2], corridor)
+        assert len(doors) == 1
+        assert venue.door(doors[0]).other_side(rooms[2]) == corridor
+
+    def test_locate_finds_containing_partition(self, corridor_venue):
+        venue, rooms, corridor = corridor_venue
+        assert venue.locate(Point(1.0, 1.0, 0)) == rooms[0]
+        assert venue.locate(Point(25.0, 6.0, 0)) == corridor
+
+    def test_locate_outside_returns_none(self, corridor_venue):
+        venue, _, _ = corridor_venue
+        assert venue.locate(Point(-50, -50, 0)) is None
+
+    def test_bounding_rect(self, corridor_venue):
+        venue, _, _ = corridor_venue
+        rect = venue.bounding_rect()
+        assert rect.min_x == 0 and rect.max_x == 50
+        assert rect.min_y == 0 and rect.max_y == 8
+
+
+class TestValidation:
+    def test_duplicate_partition_ids_rejected(self):
+        from repro.indoor.entities import Partition
+        from repro.indoor.venue import IndoorVenue
+
+        p = Partition(0, Rect(0, 0, 1, 1))
+        with pytest.raises(VenueError):
+            IndoorVenue([p, p], [])
+
+    def test_door_referencing_unknown_partition_rejected(self):
+        builder = VenueBuilder()
+        builder.add_room(Rect(0, 0, 5, 5))
+        builder.add_door(Point(0, 0, 0), 0, 17)
+        with pytest.raises(VenueError):
+            builder.build()
+
+    def test_partition_without_door_rejected(self):
+        builder = VenueBuilder()
+        a = builder.add_room(Rect(0, 0, 5, 5))
+        b = builder.add_room(Rect(5, 0, 10, 5))
+        builder.connect(a, b)
+        builder.add_room(Rect(20, 0, 25, 5))  # isolated, doorless
+        with pytest.raises(VenueError):
+            builder.build()
+
+    def test_disconnected_venue_rejected(self):
+        builder = VenueBuilder()
+        a = builder.add_room(Rect(0, 0, 5, 5))
+        b = builder.add_room(Rect(5, 0, 10, 5))
+        builder.connect(a, b)
+        c = builder.add_room(Rect(20, 0, 25, 5))
+        d = builder.add_room(Rect(25, 0, 30, 5))
+        builder.connect(c, d)
+        with pytest.raises(DisconnectedVenueError):
+            builder.build()
+
+    def test_door_far_from_partition_rejected(self):
+        builder = VenueBuilder()
+        a = builder.add_room(Rect(0, 0, 5, 5))
+        b = builder.add_room(Rect(5, 0, 10, 5))
+        builder.add_door(Point(50, 50, 0), a, b)
+        with pytest.raises(VenueError):
+            builder.build()
+
+    def test_validation_can_be_skipped(self):
+        builder = VenueBuilder()
+        builder.add_room(Rect(0, 0, 5, 5))  # doorless
+        venue = builder.build(validate=False)
+        assert venue.partition_count == 1
+
+    def test_empty_venue_rejected(self):
+        with pytest.raises(VenueError):
+            VenueBuilder().build()
+
+    def test_multi_room_venue_validates(self):
+        venue, _, _ = build_corridor_venue(rooms=4)
+        venue.validate()  # idempotent, no error

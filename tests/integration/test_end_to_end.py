@@ -1,0 +1,140 @@
+"""Integration tests: the full pipeline on the paper's venues.
+
+These exercise venue generation → VIP-tree indexing → workload
+generation → all algorithms/objectives on each of the four venues (at
+reduced workload sizes) plus persistence and routing on top of the
+query results.
+"""
+
+import pytest
+
+from repro import IFLSEngine, PathService, ResultStatus
+from repro.datasets import VENUE_NAMES, venue_by_name, workload
+from repro.bench.experiments import default_fe, default_fn
+
+_ENGINES = {}
+
+
+def engine_for(name):
+    if name not in _ENGINES:
+        _ENGINES[name] = IFLSEngine(venue_by_name(name))
+    return _ENGINES[name]
+
+
+@pytest.mark.parametrize("venue_name", VENUE_NAMES)
+def test_minmax_pipeline_on_paper_venue(venue_name):
+    engine = engine_for(venue_name)
+    clients, facilities = workload(
+        engine.venue,
+        150,
+        default_fe(venue_name),
+        default_fn(venue_name),
+        seed=5,
+    )
+    efficient = engine.query(clients, facilities, cold=True)
+    baseline = engine.query(
+        clients, facilities, algorithm="baseline", cold=True
+    )
+    assert efficient.objective == pytest.approx(baseline.objective)
+    assert efficient.status == baseline.status
+    if efficient.status is ResultStatus.OPTIMAL:
+        assert efficient.answer in facilities.candidates
+
+
+@pytest.mark.parametrize("venue_name", ["MC", "CPH"])
+@pytest.mark.parametrize("objective", ["mindist", "maxsum"])
+def test_extension_pipeline_on_paper_venue(venue_name, objective):
+    engine = engine_for(venue_name)
+    clients, facilities = workload(
+        engine.venue, 60,
+        default_fe(venue_name), default_fn(venue_name), seed=6,
+    )
+    fast = engine.query(
+        clients, facilities, objective=objective, cold=True
+    )
+    slow = engine.query(
+        clients, facilities, objective=objective,
+        algorithm="bruteforce", cold=True,
+    )
+    assert fast.objective == pytest.approx(slow.objective)
+
+
+@pytest.mark.parametrize("venue_name", VENUE_NAMES)
+def test_normal_distribution_pipeline(venue_name):
+    engine = engine_for(venue_name)
+    clients, facilities = workload(
+        engine.venue, 120,
+        default_fe(venue_name), default_fn(venue_name),
+        seed=7, distribution="normal", sigma=0.25,
+    )
+    result = engine.query(clients, facilities, cold=True)
+    check = engine.query(
+        clients, facilities, algorithm="baseline", cold=True
+    )
+    assert result.objective == pytest.approx(check.objective)
+
+
+def test_route_to_answer():
+    """The answer is not just a number: a client can walk there."""
+    engine = engine_for("MC")
+    clients, facilities = workload(
+        engine.venue, 80, default_fe("MC"), default_fn("MC"), seed=8
+    )
+    result = engine.query(clients, facilities, cold=True)
+    assert result.answer is not None
+    paths = PathService(engine.venue, graph=engine.tree.graph)
+    client = max(
+        clients,
+        key=lambda c: engine.distances.idist(c, result.answer),
+    )
+    route = paths.route_to_partition(client, result.answer)
+    assert route.distance == pytest.approx(
+        engine.distances.idist(client, result.answer)
+    )
+    assert route.legs
+
+
+def test_venue_round_trip_preserves_answers(tmp_path):
+    from repro.indoor.io import load_venue, save_venue
+
+    engine = engine_for("CPH")
+    clients, facilities = workload(
+        engine.venue, 60, default_fe("CPH"), default_fn("CPH"), seed=9
+    )
+    want = engine.query(clients, facilities, cold=True)
+    save_venue(engine.venue, tmp_path / "cph.json")
+    clone_engine = IFLSEngine(load_venue(tmp_path / "cph.json"))
+    got = clone_engine.query(clients, facilities, cold=True)
+    assert got.objective == pytest.approx(want.objective)
+    assert got.answer == want.answer
+
+
+def test_render_answer_smoke():
+    from repro.indoor.render import render_result
+
+    engine = engine_for("CPH")
+    clients, facilities = workload(
+        engine.venue, 40, default_fe("CPH"), default_fn("CPH"), seed=10
+    )
+    result = engine.query(clients, facilities, cold=True)
+    text = render_result(
+        engine.venue,
+        clients,
+        facilities.existing,
+        facilities.candidates,
+        result.answer,
+    )
+    assert text.startswith("level")
+    assert "A" in text
+
+
+def test_topk_contains_single_answer():
+    from repro.core.topk import top_k_ifls
+
+    engine = engine_for("MC")
+    clients, facilities = workload(
+        engine.venue, 100, default_fe("MC"), default_fn("MC"), seed=11
+    )
+    single = engine.query(clients, facilities, cold=True)
+    ranked, _stats = top_k_ifls(engine.problem(clients, facilities), 5)
+    assert ranked[0].objective == pytest.approx(single.objective)

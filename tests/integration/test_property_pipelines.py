@@ -1,0 +1,72 @@
+"""Cross-module property tests: persistence, routing, rendering, top-k
+against the query pipeline on randomly generated venues."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import IFLSEngine, PathService
+from repro.indoor.io import venue_from_dict, venue_to_dict
+from tests.core.test_equivalence_property import scenarios
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenario=scenarios())
+def test_io_round_trip_preserves_query_results(scenario):
+    engine, clients, facilities = scenario
+    clone = venue_from_dict(venue_to_dict(engine.venue))
+    want = engine.query(clients, facilities, algorithm="bruteforce")
+    got = IFLSEngine(clone).query(
+        clients, facilities, algorithm="bruteforce"
+    )
+    assert got.objective == pytest.approx(want.objective)
+    assert got.answer == want.answer
+    assert got.status == want.status
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenario=scenarios())
+def test_routes_realise_idist_distances(scenario):
+    """For every client, walking the reconstructed route to any
+    candidate covers exactly iDist metres."""
+    engine, clients, facilities = scenario
+    paths = PathService(engine.venue, graph=engine.tree.graph)
+    targets = sorted(facilities.candidates)[:3]
+    for client in clients[:5]:
+        for target in targets:
+            if target == client.partition_id:
+                continue
+            route = paths.route_to_partition(client, target)
+            assert route.distance == pytest.approx(
+                engine.distances.idist(client, target)
+            )
+            assert sum(
+                leg.distance for leg in route.legs
+            ) == pytest.approx(route.distance)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenario=scenarios())
+def test_render_never_crashes(scenario):
+    from repro.indoor.render import FloorPlanRenderer
+
+    engine, clients, facilities = scenario
+    renderer = FloorPlanRenderer(engine.venue, width=60, height=14)
+    text = renderer.render(
+        clients=clients,
+        existing=facilities.existing,
+        candidates=facilities.candidates,
+    )
+    assert text.count("level") == len(engine.venue.levels)

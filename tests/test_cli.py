@@ -1,0 +1,105 @@
+"""Unit tests for the ``ifls`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "CPH"])
+        assert args.clients == 1000
+        assert args.algorithm == "efficient"
+        assert args.objective == "minmax"
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.experiment == "all"
+
+
+class TestCommands:
+    def test_venues(self, capsys):
+        assert main(["venues"]) == 0
+        out = capsys.readouterr().out
+        for name in ("MC", "CH", "CPH", "MZB"):
+            assert name in out
+
+    def test_info(self, capsys):
+        assert main(["info", "CPH"]) == 0
+        out = capsys.readouterr().out
+        assert "VIP-tree" in out
+        assert "partitions=76" in out
+
+    def test_query_efficient(self, capsys):
+        assert main(["query", "CPH", "--clients", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "answer:" in out
+        assert "objective:" in out
+
+    def test_query_bruteforce_matches_efficient(self, capsys):
+        main(["query", "CPH", "--clients", "40", "--seed", "3"])
+        fast = capsys.readouterr().out
+        main(["query", "CPH", "--clients", "40", "--seed", "3",
+              "--algorithm", "bruteforce"])
+        slow = capsys.readouterr().out
+
+        def objective(text):
+            for line in text.splitlines():
+                if line.startswith("objective:"):
+                    return float(line.split()[1])
+            raise AssertionError(text)
+
+        assert objective(fast) == pytest.approx(objective(slow))
+
+    def test_query_normal_distribution(self, capsys):
+        assert main([
+            "query", "CPH", "--clients", "30",
+            "--distribution", "normal", "--sigma", "0.25",
+        ]) == 0
+
+    def test_query_mindist(self, capsys):
+        assert main([
+            "query", "CPH", "--clients", "30", "--objective", "mindist",
+        ]) == 0
+
+    def test_bench_table2(self, capsys):
+        assert main(["bench", "--experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+
+class TestRenderAndTopK:
+    def test_render(self, capsys):
+        assert main(["render", "CPH", "--level", "0",
+                     "--width", "60", "--height", "12"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("level 0")
+        assert "D" in out
+
+    def test_render_all_levels(self, capsys):
+        assert main(["render", "CPH", "--width", "40",
+                     "--height", "10", "--labels"]) == 0
+
+    def test_topk(self, capsys):
+        assert main(["topk", "CPH", "-k", "3", "--clients", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "#1:" in out and "#3:" in out
+
+    def test_topk_maxsum(self, capsys):
+        assert main(["topk", "CPH", "-k", "2", "--clients", "30",
+                     "--objective", "maxsum"]) == 0
+
+    def test_route(self, capsys):
+        assert main(["route", "CPH", "--clients", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "worst-off client" in out
+        assert "total distance" in out
+
+    def test_backends(self, capsys):
+        assert main(["backends", "CPH", "--pairs", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "viptree" in out and "doortable" in out and "iptree" in out

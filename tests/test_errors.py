@@ -1,0 +1,42 @@
+"""The exception hierarchy is part of the public API contract."""
+
+import pytest
+
+from repro import (
+    DisconnectedVenueError,
+    QueryError,
+    ReproError,
+    UnreachableFacilityError,
+    VenueError,
+)
+from repro.errors import EmptyCandidateSetError, IndexError_, UnknownEntityError
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc in (
+        VenueError,
+        DisconnectedVenueError,
+        UnknownEntityError,
+        IndexError_,
+        QueryError,
+        EmptyCandidateSetError,
+        UnreachableFacilityError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_unknown_entity_is_also_key_error():
+    assert issubclass(UnknownEntityError, KeyError)
+    err = UnknownEntityError("door", 7)
+    assert err.kind == "door"
+    assert err.entity_id == 7
+    assert "door" in str(err)
+
+
+def test_disconnected_is_venue_error():
+    assert issubclass(DisconnectedVenueError, VenueError)
+
+
+def test_catch_all_with_base_class():
+    with pytest.raises(ReproError):
+        raise QueryError("boom")

@@ -1,0 +1,23 @@
+"""Smoke tests for the repository tools."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_gen_api_docs_runs(tmp_path, monkeypatch):
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "gen_api_docs", ROOT / "tools" / "gen_api_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "OUT", tmp_path / "API.md")
+    module.main()
+    text = (tmp_path / "API.md").read_text()
+    assert "# API reference" in text
+    assert "repro.core.efficient" in text
+    assert "repro.index.viptree" in text

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Regenerate the paper-scale numbers quoted in EXPERIMENTS.md.
+
+Runs the full Table-2 client-count sweeps (Figures 7a/8a for all four
+venues, Figure 5 for the extreme real-setting categories) with 3
+repetitions each and writes the CSVs to ``bench_results/paper/``.
+
+This is the heavyweight subset of the harness — expect a long run.
+Everything else in EXPERIMENTS.md comes from
+``REPRO_SCALE=medium python -m repro bench --experiment all``.
+"""
+
+from pathlib import Path
+
+from repro.bench.experiments import EngineCache, Scale, fig5, fig78
+from repro.bench.plots import plot_rows
+from repro.bench.reporting import (
+    format_series,
+    summarize_speedups,
+    write_csv,
+)
+
+OUT = Path("bench_results/paper")
+SCALE = Scale("paper3", 1, 3)
+
+
+def main() -> None:
+    cache = EngineCache()
+
+    rows = fig78(scale=SCALE, cache=cache, parts=("C",))
+    write_csv(rows, OUT / "fig7a.csv")
+    print(format_series(rows, "time", title="Fig 7a paper scale (time)"))
+    print()
+    print(plot_rows(rows, "time"))
+    print()
+    print(format_series(rows, "memory",
+                        title="Fig 8a paper scale (memory)"))
+    for label, (mean, peak) in sorted(summarize_speedups(rows).items()):
+        print(f"{label:<30} mean {mean:5.2f}x max {peak:5.2f}x")
+
+    rows5 = fig5(
+        scale=SCALE,
+        cache=cache,
+        categories=("fashion & accessories", "banks & services"),
+    )
+    write_csv(rows5, OUT / "fig5.csv")
+    print(format_series(rows5, "time", title="Fig 5 paper scale (time)"))
+    for label, (mean, peak) in sorted(summarize_speedups(rows5).items()):
+        print(f"{label:<30} mean {mean:5.2f}x max {peak:5.2f}x")
+
+
+if __name__ == "__main__":
+    main()
