@@ -27,11 +27,15 @@ from .core import (
     MINDIST,
     MINMAX,
     TOP_DOWN,
+    BatchQuery,
     DynamicIFLSSession,
     EfficientOptions,
     MovingClientSimulator,
     IFLSEngine,
+    QuerySession,
     RankedCandidate,
+    SessionQueryRecord,
+    SessionReport,
     top_k_ifls,
     IFLSProblem,
     IFLSResult,
@@ -66,6 +70,7 @@ __all__ = [
     "BASELINE",
     "BOTTOM_UP",
     "BRUTE_FORCE",
+    "BatchQuery",
     "Client",
     "DisconnectedVenueError",
     "DistanceService",
@@ -92,8 +97,11 @@ __all__ = [
     "PartitionKind",
     "Point",
     "QueryError",
+    "QuerySession",
     "QueryStats",
     "Rect",
+    "SessionQueryRecord",
+    "SessionReport",
     "ReproError",
     "ResultStatus",
     "TOP_DOWN",

@@ -6,6 +6,12 @@ and (iii) Lemma 5.1 client pruning (fewer facility retrievals and
 indoor distance computations).  This experiment measures exactly those
 internal counters for both algorithms on identical workloads, so the
 claim is verifiable independent of wall-clock noise.
+
+:func:`measure_session_counters` extends the comparison across a whole
+query *batch*: the same workload sequence answered cold (fresh distance
+engine per query) and warm (one :class:`~repro.core.session.QuerySession`),
+with identical answers asserted and the distance-computation savings
+reported via :func:`~repro.bench.reporting.format_cache_effectiveness`.
 """
 
 from __future__ import annotations
@@ -41,12 +47,21 @@ class CounterRow:
     idist_calls: int
     d2d_lookups: int
     distance_computations: int
+    cache_hits: int
     single_door_shortcuts: int
     queue_pops: int
 
+    @property
+    def cache_hit_rate(self) -> float:
+        """Memo hits per distance request (0 when nothing was asked)."""
+        calls = self.distance_computations + self.cache_hits
+        return self.cache_hits / calls if calls else 0.0
+
     def as_dict(self) -> Dict[str, object]:
         """Field mapping for table rendering."""
-        return dict(self.__dict__)
+        out = dict(self.__dict__)
+        out["cache_hit_rate"] = f"{self.cache_hit_rate:.0%}"
+        return out
 
 
 def measure_counters(
@@ -89,6 +104,7 @@ def measure_counters(
                     distance_computations=(
                         stats.distance.distance_computations
                     ),
+                    cache_hits=stats.distance.cache_hits,
                     single_door_shortcuts=(
                         stats.distance.single_door_shortcuts
                     ),
@@ -98,12 +114,116 @@ def measure_counters(
     return rows
 
 
+@dataclass
+class SessionCounterRow:
+    """Cold-vs-warm batch comparison on one venue."""
+
+    venue: str
+    queries: int
+    cold: Dict[str, int]
+    warm: Dict[str, int]
+    answers_identical: bool
+
+    @property
+    def computations_saved(self) -> int:
+        """Distance computations the warm session avoided."""
+        return (
+            self.cold["distance_computations"]
+            - self.warm["distance_computations"]
+        )
+
+
+def measure_session_counters(
+    scale: Optional[Scale] = None,
+    cache: Optional[EngineCache] = None,
+    venues: Sequence[str] = VENUE_NAMES,
+    batch_size: int = 12,
+    clients_per_query: int = 2_000,
+) -> List[SessionCounterRow]:
+    """Answer one batch per venue cold and warm with identical inputs.
+
+    Cold gives every query its own fresh memoising engine (the
+    per-query behaviour before sessions existed); warm runs the same
+    sequence through one :class:`QuerySession`.  Answers must agree
+    exactly — the warm path only changes what is *recomputed*.
+    """
+    from ..core.session import BatchQuery
+
+    scale = scale or current_scale()
+    cache = cache or EngineCache()
+    rows: List[SessionCounterRow] = []
+    count = scale.clients(clients_per_query)
+    for venue_name in venues:
+        engine = cache.engine(venue_name)
+        batch = []
+        for i in range(batch_size):
+            rng = random.Random(_SESSION_SEED + i)
+            facilities = random_facility_sets(
+                engine.venue,
+                default_fe(venue_name),
+                default_fn(venue_name),
+                rng,
+            )
+            clients = uniform_clients(engine.venue, count, rng)
+            batch.append(BatchQuery(clients, facilities))
+        cold_totals: Dict[str, int] = {}
+        cold_answers = []
+        for query in batch:
+            distances = VIPDistanceEngine(engine.tree, memoize=True)
+            problem = IFLSProblem(
+                distances, list(query.clients), query.facilities
+            )
+            result = efficient_minmax(problem)
+            cold_answers.append((result.answer, result.objective))
+            for key, value in distances.stats.snapshot().items():
+                cold_totals[key] = cold_totals.get(key, 0) + value
+        session = engine.session()
+        warm_results = session.run(batch)
+        warm_answers = [(r.answer, r.objective) for r in warm_results]
+        rows.append(
+            SessionCounterRow(
+                venue=venue_name,
+                queries=batch_size,
+                cold=cold_totals,
+                warm=session.report().totals,
+                answers_identical=cold_answers == warm_answers,
+            )
+        )
+    return rows
+
+
+_SESSION_SEED = 0x5E55
+
+
+def format_session_counters(rows: Sequence[SessionCounterRow]) -> str:
+    """Cache-effectiveness tables, one per venue, plus savings lines."""
+    from .reporting import format_cache_effectiveness
+
+    blocks = []
+    for row in rows:
+        table = format_cache_effectiveness(
+            [("cold (per-query)", row.cold), ("warm (session)", row.warm)],
+            title=(
+                f"{row.venue}: {row.queries}-query batch, "
+                f"cold vs warm session"
+            ),
+        )
+        agree = "yes" if row.answers_identical else "NO — BUG"
+        blocks.append(
+            f"{table}\n"
+            f"answers identical: {agree}; "
+            f"computations saved: {row.computations_saved}"
+        )
+    return "\n\n".join(blocks)
+
+
 def format_counters(rows: Sequence[CounterRow]) -> str:
     """Fixed-width table of the counter comparison."""
     columns = (
         ("venue", 6), ("algorithm", 10), ("clients", 8),
         ("clients_pruned", 15), ("facilities_retrieved", 21),
         ("idist_calls", 12), ("d2d_lookups", 12),
+        ("cache_hits", 11), ("cache_hit_rate", 15),
         ("single_door_shortcuts", 22), ("queue_pops", 11),
     )
     header = "".join(f"{name:>{width}}" for name, width in columns)

@@ -107,6 +107,40 @@ def summarize_speedups(rows: Sequence[Row]) -> Dict[str, Tuple[float, float]]:
     }
 
 
+def format_cache_effectiveness(
+    entries: Sequence[Tuple[str, Dict[str, int]]],
+    title: str = "Cache effectiveness",
+) -> str:
+    """Render labelled :class:`DistanceStats` snapshots side by side.
+
+    Every report that compares runs (cold vs warm sessions, efficient
+    vs baseline) uses this table so cache behaviour is visible next to
+    the raw operation counts: computations actually paid, memo hits,
+    the hit rate, and evictions under a bounded cache budget.
+    """
+    header = (
+        f"{'label':<18}{'computed':>10}{'hits':>10}{'hit_rate':>9}"
+        f"{'d2d_lookups':>12}{'evictions':>10}"
+    )
+    lines = [title, header, "-" * len(header)]
+    for label, snap in entries:
+        hits = (
+            snap.get("d2d_cache_hits", 0)
+            + snap.get("imind_cache_hits", 0)
+            + snap.get("imind_node_cache_hits", 0)
+        )
+        computed = snap.get("distance_computations", 0)
+        calls = computed + hits
+        rate = f"{hits / calls:.0%}" if calls else "-"
+        lines.append(
+            f"{label:<18}"
+            f"{computed:>10}{hits:>10}{rate:>9}"
+            f"{snap.get('d2d_lookups', 0):>12}"
+            f"{snap.get('cache_evictions', 0):>10}"
+        )
+    return "\n".join(lines)
+
+
 def read_csv(path: Path) -> List[Row]:
     """Load rows previously persisted with :func:`write_csv`."""
     rows: List[Row] = []

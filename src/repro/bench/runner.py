@@ -26,7 +26,12 @@ from .experiments import (
     fig6,
     fig78,
 )
-from .counters import format_counters, measure_counters
+from .counters import (
+    format_counters,
+    format_session_counters,
+    measure_counters,
+    measure_session_counters,
+)
 from .plots import plot_rows
 from .reporting import format_series, summarize_speedups, write_csv
 from .tables import format_table1, format_table2
@@ -41,7 +46,7 @@ _FIGURES = {
 }
 
 ALL_EXPERIMENTS = ("table1", "table2", "fig5", "fig6", "fig7", "fig8",
-                   "ablation", "extensions", "counters")
+                   "ablation", "extensions", "counters", "session")
 
 
 def run_experiment(
@@ -62,6 +67,11 @@ def run_experiment(
         return []
     if name == "counters":
         echo(format_counters(measure_counters(scale=scale, cache=cache)))
+        return []
+    if name == "session":
+        echo(format_session_counters(
+            measure_session_counters(scale=scale, cache=cache)
+        ))
         return []
     try:
         fn, title = _FIGURES[name]

@@ -57,6 +57,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     fn = args.candidates if args.candidates else default_fn(
         args.venue.upper()
     )
+    if args.batch > 1 or args.session_stats:
+        return _run_query_batch(args, venue, fe, fn)
     clients, facilities = workload(
         venue,
         args.clients,
@@ -89,6 +91,56 @@ def _cmd_query(args: argparse.Namespace) -> int:
           f"queue pops={stats.queue_pops}")
     print(f"distances:  idist={stats.distance.idist_calls} "
           f"d2d={stats.distance.d2d_lookups}")
+    return 0
+
+
+def _run_query_batch(args: argparse.Namespace, venue, fe: int, fn: int) -> int:
+    """Answer ``--batch`` queries through one warm :class:`QuerySession`.
+
+    Each query draws a fresh workload (seed, seed+1, …), so the batch
+    models a stream of independent requests against one venue; the
+    session report shows what the warm caches saved.
+    """
+    from .core.session import BatchQuery
+
+    if args.algorithm != "efficient":
+        print("batch mode uses the efficient algorithm "
+              f"(--algorithm {args.algorithm} ignored)")
+    engine = IFLSEngine(venue)
+    session = engine.session(max_cache_entries=args.cache_budget)
+    batch = []
+    for i in range(args.batch):
+        clients, facilities = workload(
+            venue,
+            args.clients,
+            fe,
+            fn,
+            seed=args.seed + i,
+            distribution=args.distribution,
+            sigma=args.sigma,
+        )
+        batch.append(
+            BatchQuery(
+                clients,
+                facilities,
+                objective=args.objective,
+                label=f"seed={args.seed + i}",
+            )
+        )
+    started = time.perf_counter()
+    results = session.run(batch)
+    elapsed = time.perf_counter() - started
+    print(f"venue:      {venue.name} ({venue.partition_count} partitions)")
+    print(f"batch:      {args.batch} x |C|={args.clients} |Fe|={fe} "
+          f"|Fn|={fn} seeds {args.seed}..{args.seed + args.batch - 1}")
+    print(f"objective:  {args.objective} (efficient, warm session)")
+    print(f"time:       {elapsed:.3f}s total, "
+          f"{elapsed / args.batch:.4f}s/query")
+    improved = sum(1 for r in results if r.answer is not None)
+    print(f"answers:    {improved}/{len(results)} queries improved "
+          f"the crowd")
+    print()
+    print(session.report().describe(per_query=args.session_stats))
     return 0
 
 
@@ -274,6 +326,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--objective",
                        choices=("minmax", "mindist", "maxsum"),
                        default="minmax")
+    query.add_argument("--batch", type=int, default=1,
+                       help="answer N fresh-workload queries through "
+                            "one warm QuerySession")
+    query.add_argument("--session-stats", action="store_true",
+                       help="print per-query cache-effectiveness rows")
+    query.add_argument("--cache-budget", type=int, default=None,
+                       help="max memoised distance entries "
+                            "(oldest evicted first; default unbounded)")
     query.set_defaults(fn=_cmd_query)
 
     render = sub.add_parser("render", help="ASCII floor plan")

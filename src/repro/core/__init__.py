@@ -28,14 +28,24 @@ from .queries import (
     IFLSEngine,
 )
 from .result import IFLSResult, ResultStatus
+from .session import (
+    BatchQuery,
+    QuerySession,
+    SessionQueryRecord,
+    SessionReport,
+)
 from .topk import RankedCandidate, TopKStats, top_k_ifls
 from .stats import QueryStats
 
 __all__ = [
     "BASELINE",
+    "BatchQuery",
     "BOTTOM_UP",
     "BRUTE_FORCE",
     "DynamicIFLSSession",
+    "QuerySession",
+    "SessionQueryRecord",
+    "SessionReport",
     "RankedCandidate",
     "TopKStats",
     "top_k_ifls",

@@ -32,7 +32,7 @@ import heapq
 import itertools
 import time
 import tracemalloc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import QueryError, UnreachableFacilityError
@@ -85,10 +85,27 @@ class EfficientOptions:
 
 @dataclass
 class _Group:
-    """One traversal stream: a client partition and its active clients."""
+    """One traversal stream: a client partition and its active clients.
+
+    Pruning a client is O(1): the id goes into ``pruned`` and the
+    client list is compacted *lazily* by :meth:`FacilityStream.advance`
+    once at least half the list is pruned, so a query that prunes all
+    ``|C|`` clients pays O(|C|) total instead of the O(|C|²) a rebuild
+    per prune would cost.
+    """
 
     partition_id: PartitionId
     clients: List[Client]
+    pruned: Set[int] = field(default_factory=set)
+
+    def prune(self, client_id: int) -> None:
+        """Mark one client resolved (lazy removal)."""
+        self.pruned.add(client_id)
+
+    @property
+    def active_count(self) -> int:
+        """Clients not yet pruned."""
+        return len(self.clients) - len(self.pruned)
 
 
 class FacilityStream:
@@ -157,6 +174,17 @@ class FacilityStream:
         self.stats.queue_pops += 1
         self.stats.iterations += 1
         group = self.groups[group_index]
+        pruned = group.pruned
+        if pruned and 2 * len(pruned) >= len(group.clients):
+            # Lazy compaction: amortised O(1) per prune, and it keeps
+            # the pruned fraction below one half so skipping pruned ids
+            # during facility pops never dominates the useful work.
+            self.stats.group_compaction_cost += len(group.clients)
+            self.stats.group_compactions += 1
+            group.clients = [
+                c for c in group.clients if c.client_id not in pruned
+            ]
+            pruned.clear()
         if not group.clients:
             # Every client of this partition is resolved: the paper's
             # |C[p]| > 0 guard — no distances, no expansion.
@@ -164,6 +192,8 @@ class FacilityStream:
         if entity == _ENTITY_FACILITY:
             records = []
             for client in group.clients:
+                if client.client_id in pruned:
+                    continue
                 dist = self.engine.idist(client, ident)
                 records.append(
                     (client, ident, dist, ident in self.existing)
@@ -378,9 +408,7 @@ def _run(
             return
         group = group_of_client.get(client_id)
         if group is not None:
-            group.clients = [
-                c for c in group.clients if c.client_id != client_id
-            ]
+            group.prune(client_id)
 
     def finish(answer: Optional[PartitionId], objective: float):
         stats.clients_pruned = len(state.pruned)

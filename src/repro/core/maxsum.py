@@ -27,7 +27,12 @@ import tracemalloc
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..indoor.entities import PartitionId
-from .efficient import EfficientOptions, FacilityStream, make_groups
+from .efficient import (
+    EfficientOptions,
+    FacilityStream,
+    _merge_engine_stats,
+    make_groups,
+)
 from .problem import IFLSProblem
 from .result import IFLSResult, ResultStatus
 from .stats import QueryStats
@@ -57,6 +62,8 @@ class _MaxSumState:
         self.win_pairs: Dict[int, Set[PartitionId]] = {}
         self.recorded: Dict[int, Dict[PartitionId, float]] = {}
         self.events: List[Tuple[float, int, int, PartitionId]] = []
+        # Settle events not yet propagated to the traversal groups.
+        self.newly_settled: List[int] = []
 
     def record(
         self, client_id: int, facility: PartitionId, dist: float,
@@ -93,6 +100,7 @@ class _MaxSumState:
     def _settle(self, client_id: int, de: float) -> None:
         self.unsettled.discard(client_id)
         self.settled_de[client_id] = de
+        self.newly_settled.append(client_id)
         marks = self.win_pairs.pop(client_id, set())
         for facility in marks:
             self.unsettled_wins[facility] -= 1
@@ -152,6 +160,7 @@ def efficient_maxsum(
         algorithm="efficient-maxsum", clients_total=len(problem.clients)
     )
     started = time.perf_counter()
+    before = problem.engine.stats.snapshot()
     if options.measure_memory:
         tracemalloc.start()
     try:
@@ -161,6 +170,7 @@ def efficient_maxsum(
             _, peak = tracemalloc.get_traced_memory()
             stats.peak_memory_bytes = peak
             tracemalloc.stop()
+    _merge_engine_stats(problem.engine, before, stats)
     stats.elapsed_seconds = time.perf_counter() - started
     return result
 
@@ -179,18 +189,21 @@ def _run(
         stats=stats,
     )
 
+    group_of_client = {}
+    for group in groups:
+        for client in group.clients:
+            group_of_client[client.client_id] = group
+
     def settle_prune() -> None:
-        if not options.prune_clients:
+        settled = state.newly_settled
+        if not settled:
             return
-        for group in groups:
-            if any(
-                c.client_id in state.settled_de for c in group.clients
-            ):
-                group.clients = [
-                    c
-                    for c in group.clients
-                    if c.client_id not in state.settled_de
-                ]
+        if options.prune_clients:
+            for client_id in settled:
+                group = group_of_client.get(client_id)
+                if group is not None:
+                    group.prune(client_id)
+        settled.clear()
 
     for client in problem.clients:
         pid = client.partition_id
@@ -210,10 +223,8 @@ def _run(
         gd, records = step
         for client, facility, dist, is_existing in records:
             state.record(client.client_id, facility, dist, is_existing)
-        settled_before = len(state.settled_de)
         state.advance(gd)
-        if len(state.settled_de) != settled_before:
-            settle_prune()
+        settle_prune()
         answer = state.check_answer()
 
     if answer is None:

@@ -32,7 +32,12 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import UnreachableFacilityError
 from ..indoor.entities import PartitionId
-from .efficient import EfficientOptions, FacilityStream, make_groups
+from .efficient import (
+    EfficientOptions,
+    FacilityStream,
+    _merge_engine_stats,
+    make_groups,
+)
 from .problem import IFLSProblem
 from .result import IFLSResult, ResultStatus
 from .stats import QueryStats
@@ -60,6 +65,8 @@ class _MinDistState:
         # Heaps driving settling and exactness promotion.
         self.settle_heap: List[Tuple[float, int]] = []
         self.promote_heap: List[Tuple[float, int, PartitionId]] = []
+        # Settle events not yet propagated to the traversal groups.
+        self.newly_settled: List[int] = []
 
     # -- event intake ----------------------------------------------------
     def record(
@@ -103,6 +110,7 @@ class _MinDistState:
         self.unsettled.discard(client_id)
         self.settled_de[client_id] = de
         self.settled_base += de
+        self.newly_settled.append(client_id)
         marks = self.exact_pairs.pop(client_id, set())
         for facility, dist in self.recorded.pop(client_id, {}).items():
             if facility in marks:
@@ -184,6 +192,7 @@ def efficient_mindist(
         algorithm="efficient-mindist", clients_total=len(problem.clients)
     )
     started = time.perf_counter()
+    before = problem.engine.stats.snapshot()
     if options.measure_memory:
         tracemalloc.start()
     try:
@@ -193,6 +202,7 @@ def efficient_mindist(
             _, peak = tracemalloc.get_traced_memory()
             stats.peak_memory_bytes = peak
             tracemalloc.stop()
+    _merge_engine_stats(problem.engine, before, stats)
     stats.elapsed_seconds = time.perf_counter() - started
     return result
 
@@ -216,17 +226,15 @@ def _run(
             group_of_client[client.client_id] = group
 
     def settle_prune() -> None:
-        if not options.prune_clients:
+        settled = state.newly_settled
+        if not settled:
             return
-        for group in groups:
-            if any(
-                c.client_id in state.settled_de for c in group.clients
-            ):
-                group.clients = [
-                    c
-                    for c in group.clients
-                    if c.client_id not in state.settled_de
-                ]
+        if options.prune_clients:
+            for client_id in settled:
+                group = group_of_client.get(client_id)
+                if group is not None:
+                    group.prune(client_id)
+        settled.clear()
 
     # Pre-phase: clients inside facility partitions.
     for client in problem.clients:
@@ -248,10 +256,8 @@ def _run(
         gd, records = step
         for client, facility, dist, is_existing in records:
             state.record(client.client_id, facility, dist, is_existing)
-        settled_before = len(state.settled_de)
         state.advance(gd)
-        if len(state.settled_de) != settled_before:
-            settle_prune()
+        settle_prune()
         answer = state.check_answer(gd)
 
     if answer is None:

@@ -163,6 +163,25 @@ class IFLSEngine:
         }
         return dispatch[objective](problem, options)
 
+    def session(
+        self,
+        max_cache_entries: Optional[int] = None,
+        keep_records: bool = True,
+    ) -> "QuerySession":
+        """Open a batch-execution session sharing this engine's tree.
+
+        The session answers query sequences on its own persistent
+        distance engine, keeping the ``iMinD`` caches warm across
+        queries — see :mod:`repro.core.session`.
+        """
+        from .session import QuerySession
+
+        return QuerySession(
+            self,
+            max_cache_entries=max_cache_entries,
+            keep_records=keep_records,
+        )
+
     # Convenience wrappers -------------------------------------------------
     def minmax(
         self,

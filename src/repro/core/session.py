@@ -1,0 +1,298 @@
+"""Batched IFLS execution with warm cross-query distance caches.
+
+The paper's efficiency argument (Section 5.3.1) rests on reusing
+``iMinD`` computations across clients *within* one query.
+:class:`QuerySession` extends that reuse *across* queries: it owns a
+venue's VIP-tree and one persistent :class:`VIPDistanceEngine`, and
+answers a sequence of IFLS queries — mixed objectives, varying client
+and facility sets — while the partition-pair, door-pair, and
+per-(partition, node) ``iMinD`` memos stay warm.  Distances depend
+only on the venue geometry, never on the query, so a warm answer is
+bit-identical to a cold one; what changes is how many matrix
+computations the batch pays.
+
+Lifecycle::
+
+    session = QuerySession(engine)            # or engine.session()
+    result = session.query(clients, facilities)          # warm minmax
+    results = session.run(batch)                         # BatchQuery seq
+    print(session.report().describe())                   # cache stats
+
+Warm caches are safe to reuse for as long as the venue geometry
+(partitions, doors, door connectivity) is unchanged — client crowds and
+facility sets may vary freely between queries.  After a venue edit the
+tree itself is stale: rebuild the :class:`~repro.core.queries.IFLSEngine`
+and start a new session (:meth:`QuerySession.invalidate` merely drops
+the memos, for A/B-testing cold behaviour on a live session).
+
+``max_cache_entries`` bounds the combined memo size (oldest entries are
+evicted first); ``None`` keeps every distance ever computed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from ..indoor.entities import Client, FacilitySets, PartitionId
+from ..index.distance import VIPDistanceEngine
+from .efficient import EfficientOptions, efficient_minmax
+from .maxsum import efficient_maxsum
+from .mindist import efficient_mindist
+from .problem import IFLSProblem
+from .queries import MAXSUM, MINDIST, MINMAX, IFLSEngine
+from .result import IFLSResult
+
+_SOLVERS = {
+    MINMAX: efficient_minmax,
+    MINDIST: efficient_mindist,
+    MAXSUM: efficient_maxsum,
+}
+
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """One query of a batch: inputs plus an optional display label."""
+
+    clients: Tuple[Client, ...]
+    facilities: FacilitySets
+    objective: str = MINMAX
+    options: Optional[EfficientOptions] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.objective not in _SOLVERS:
+            raise QueryError(f"unknown objective {self.objective!r}")
+        # Accept any sequence of clients; store an immutable tuple.
+        object.__setattr__(self, "clients", tuple(self.clients))
+
+
+@dataclass
+class SessionQueryRecord:
+    """Per-query cache effectiveness: engine-counter deltas."""
+
+    index: int
+    label: str
+    objective: str
+    answer: Optional[PartitionId]
+    objective_value: float
+    clients: int
+    elapsed_seconds: float
+    distance_delta: Dict[str, int]
+    cache_entries_after: int
+
+    @property
+    def distance_computations(self) -> int:
+        """Matrix computations this query actually paid."""
+        return self.distance_delta["distance_computations"]
+
+    @property
+    def cache_hits(self) -> int:
+        """Memo hits this query was served (all three caches)."""
+        return (
+            self.distance_delta["d2d_cache_hits"]
+            + self.distance_delta["imind_cache_hits"]
+            + self.distance_delta["imind_node_cache_hits"]
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits per distance request within this query."""
+        calls = self.distance_computations + self.cache_hits
+        return self.cache_hits / calls if calls else 0.0
+
+
+@dataclass
+class SessionReport:
+    """Aggregated cache statistics of a session."""
+
+    queries: int
+    totals: Dict[str, int]
+    cache_sizes: Dict[str, int]
+    cache_entries: int
+    cache_bytes: int
+    max_cache_entries: Optional[int]
+    records: List[SessionQueryRecord] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> int:
+        """Total memo hits across the session."""
+        return (
+            self.totals["d2d_cache_hits"]
+            + self.totals["imind_cache_hits"]
+            + self.totals["imind_node_cache_hits"]
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Session-wide hits per distance request."""
+        calls = self.totals["distance_computations"] + self.cache_hits
+        return self.cache_hits / calls if calls else 0.0
+
+    def describe(self, per_query: bool = False) -> str:
+        """Human-readable cache-statistics report."""
+        lines = [
+            f"session: {self.queries} queries answered",
+            (
+                f"caches:  {self.cache_entries} entries "
+                f"(~{self.cache_bytes / 1024:.1f} KiB)"
+                + (
+                    f", budget {self.max_cache_entries}"
+                    if self.max_cache_entries is not None
+                    else ", unbounded"
+                )
+            ),
+            "         "
+            + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.cache_sizes.items())
+            ),
+            (
+                f"hits:    {self.cache_hits} "
+                f"({self.cache_hit_rate:.0%} of "
+                f"{self.totals['distance_computations'] + self.cache_hits}"
+                f" distance requests), "
+                f"{self.totals['cache_evictions']} evictions"
+            ),
+            (
+                f"paid:    {self.totals['distance_computations']} "
+                f"distance computations, "
+                f"{self.totals['d2d_lookups']} door-pair lookups"
+            ),
+        ]
+        if per_query and self.records:
+            lines.append("")
+            lines.append(
+                f"{'#':>4} {'label':<14} {'objective':<9} {'|C|':>6} "
+                f"{'time(s)':>9} {'computed':>9} {'hits':>9} {'rate':>6}"
+            )
+            for r in self.records:
+                lines.append(
+                    f"{r.index:>4} {r.label[:14]:<14} "
+                    f"{r.objective:<9} {r.clients:>6} "
+                    f"{r.elapsed_seconds:>9.4f} "
+                    f"{r.distance_computations:>9} {r.cache_hits:>9} "
+                    f"{r.cache_hit_rate:>6.0%}"
+                )
+        return "\n".join(lines)
+
+
+class QuerySession:
+    """A batch-execution layer over one venue's VIP-tree.
+
+    Parameters
+    ----------
+    engine:
+        The prepared :class:`~repro.core.queries.IFLSEngine` whose tree
+        the session shares.  The session gets its *own* persistent
+        :class:`VIPDistanceEngine`, so its cache statistics are not
+        polluted by (and do not pollute) interactive queries on the
+        engine.
+    max_cache_entries:
+        Bounded-memory eviction knob, forwarded to the distance engine;
+        ``None`` (default) keeps caches unbounded.
+    keep_records:
+        Collect a :class:`SessionQueryRecord` per query (per-query
+        counter deltas).  Disable for very long-running sessions where
+        even one record per query is too much bookkeeping.
+    """
+
+    def __init__(
+        self,
+        engine: IFLSEngine,
+        max_cache_entries: Optional[int] = None,
+        keep_records: bool = True,
+    ) -> None:
+        self.engine = engine
+        self.tree = engine.tree
+        self.distances = VIPDistanceEngine(
+            engine.tree, memoize=True, max_cache_entries=max_cache_entries
+        )
+        self.keep_records = keep_records
+        self.records: List[SessionQueryRecord] = []
+        self.queries_answered = 0
+
+    # ------------------------------------------------------------------
+    # Answering
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        clients: Sequence[Client],
+        facilities: FacilitySets,
+        objective: str = MINMAX,
+        options: Optional[EfficientOptions] = None,
+        label: str = "",
+    ) -> IFLSResult:
+        """Answer one query on the session's warm distance engine."""
+        solver = _SOLVERS.get(objective)
+        if solver is None:
+            raise QueryError(f"unknown objective {objective!r}")
+        problem = IFLSProblem(self.distances, list(clients), facilities)
+        before = self.distances.stats.snapshot()
+        started = time.perf_counter()
+        result = solver(problem, options)
+        elapsed = time.perf_counter() - started
+        self.queries_answered += 1
+        if self.keep_records:
+            after = self.distances.stats.snapshot()
+            delta = {
+                key: value - before.get(key, 0)
+                for key, value in after.items()
+            }
+            self.records.append(
+                SessionQueryRecord(
+                    index=self.queries_answered,
+                    label=label,
+                    objective=objective,
+                    answer=result.answer,
+                    objective_value=result.objective,
+                    clients=len(problem.clients),
+                    elapsed_seconds=elapsed,
+                    distance_delta=delta,
+                    cache_entries_after=self.distances.cache_entries(),
+                )
+            )
+        return result
+
+    def run(self, batch: Iterable[BatchQuery]) -> List[IFLSResult]:
+        """Answer a whole batch in order; caches stay warm throughout."""
+        return [
+            self.query(
+                query.clients,
+                query.facilities,
+                objective=query.objective,
+                options=query.options,
+                label=query.label or f"q{self.queries_answered + 1}",
+            )
+            for query in batch
+        ]
+
+    # ------------------------------------------------------------------
+    # Cache statistics and lifecycle
+    # ------------------------------------------------------------------
+    def report(self) -> SessionReport:
+        """Current cache statistics (totals plus per-query deltas)."""
+        return SessionReport(
+            queries=self.queries_answered,
+            totals=self.distances.stats.snapshot(),
+            cache_sizes=self.distances.cache_sizes(),
+            cache_entries=self.distances.cache_entries(),
+            cache_bytes=self.distances.cache_bytes(),
+            max_cache_entries=self.distances.max_cache_entries,
+            records=list(self.records),
+        )
+
+    def invalidate(self) -> None:
+        """Drop every memoised distance (the next query runs cold).
+
+        Note this does *not* refresh the VIP-tree: after editing the
+        venue geometry, rebuild the engine and open a new session.
+        """
+        self.distances.clear_caches()
+
+    @property
+    def cache_entries(self) -> int:
+        """Total memoised entries currently held."""
+        return self.distances.cache_entries()

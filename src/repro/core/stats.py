@@ -27,6 +27,8 @@ class QueryStats:
     queue_pushes: int = 0
     queue_pops: int = 0
     iterations: int = 0
+    group_compactions: int = 0
+    group_compaction_cost: int = 0
     elapsed_seconds: float = 0.0
     peak_memory_bytes: int = 0
     distance: DistanceStats = field(default_factory=DistanceStats)
@@ -49,6 +51,8 @@ class QueryStats:
             "queue_pushes": self.queue_pushes,
             "queue_pops": self.queue_pops,
             "iterations": self.iterations,
+            "group_compactions": self.group_compactions,
+            "group_compaction_cost": self.group_compaction_cost,
             "elapsed_seconds": self.elapsed_seconds,
             "peak_memory_bytes": self.peak_memory_bytes,
         }

@@ -8,20 +8,33 @@ Implements the three distance primitives the IFLS algorithms consume
   VIP-tree node);
 * ``iDist(c, p)`` — shortest indoor distance between a client and a
   partition, with the paper's single-door shortcut: when the client's
-  partition has exactly one door, the already-memoised ``iMinD(c.p, p)``
-  is reused and only the client's offset to that door is added;
+  partition has exactly one door, ``iMinD(c.p, p)`` is reused and only
+  the client's offset to that door is added;
 * ``minD(point, N)`` — lower bound from an exact point to a node, used
   by the top-down nearest-neighbour search of the baseline.
 
-The engine memoises ``iMinD`` per partition pair, which is what makes
-the paper's client-grouping pay off: all clients of a single-door
-partition share one matrix computation.
+The engine memoises ``iMinD`` per partition pair *and* per
+(partition, node) pair, plus door-pair distances, which is what makes
+the paper's client-grouping pay off and what :class:`~repro.core.session.QuerySession`
+keeps warm across a whole query batch.  ``max_cache_entries`` bounds
+the total number of memoised entries; the oldest entries are evicted
+first (insertion order), so a long-lived session's memory stays flat.
+
+Counter semantics (kept uniform across ``memoize`` modes so
+baseline-vs-efficient comparisons in ``bench/`` are apples-to-apples):
+
+* ``*_calls`` / ``*_lookups`` count every request, hit or miss;
+* ``*_cache_hits`` count the requests served from a memo;
+* ``distance_computations`` counts the requests actually resolved from
+  the matrices, so ``calls == cache_hits + computations`` always holds
+  (``tools/check_counters.py`` enforces this).
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..indoor.entities import Client, PartitionId
 from ..indoor.venue import IndoorVenue
@@ -35,33 +48,61 @@ INFINITY = float("inf")
 class DistanceStats:
     """Counters describing how hard the engine worked.
 
-    ``distance_computations`` counts resolved point/partition distance
+    ``distance_computations`` counts resolved partition/node distance
     requests (the paper's "number of indoor distance computations");
-    cache hits are counted separately so pruning effects are visible.
+    cache hits are counted separately so pruning and warm-cache effects
+    are visible.  The invariant
+    ``imind_calls + imind_node_calls ==
+    imind_cache_hits + imind_node_cache_hits + distance_computations``
+    holds by construction, as does ``d2d_cache_hits <= d2d_lookups``.
     """
 
     distance_computations: int = 0
     d2d_lookups: int = 0
+    d2d_cache_hits: int = 0
+    imind_calls: int = 0
     imind_cache_hits: int = 0
+    imind_node_calls: int = 0
+    imind_node_cache_hits: int = 0
     idist_calls: int = 0
     single_door_shortcuts: int = 0
+    cache_evictions: int = 0
 
     def merge(self, other: "DistanceStats") -> None:
         """Accumulate another counter set into this one."""
         self.distance_computations += other.distance_computations
         self.d2d_lookups += other.d2d_lookups
+        self.d2d_cache_hits += other.d2d_cache_hits
+        self.imind_calls += other.imind_calls
         self.imind_cache_hits += other.imind_cache_hits
+        self.imind_node_calls += other.imind_node_calls
+        self.imind_node_cache_hits += other.imind_node_cache_hits
         self.idist_calls += other.idist_calls
         self.single_door_shortcuts += other.single_door_shortcuts
+        self.cache_evictions += other.cache_evictions
+
+    @property
+    def cache_hits(self) -> int:
+        """All memo hits (door-pair, partition-pair, node bounds)."""
+        return (
+            self.d2d_cache_hits
+            + self.imind_cache_hits
+            + self.imind_node_cache_hits
+        )
 
     def snapshot(self) -> Dict[str, int]:
         """Flat dict of the counters (for reports)."""
         return {
             "distance_computations": self.distance_computations,
             "d2d_lookups": self.d2d_lookups,
+            "d2d_cache_hits": self.d2d_cache_hits,
+            "imind_calls": self.imind_calls,
             "imind_cache_hits": self.imind_cache_hits,
+            "imind_node_calls": self.imind_node_calls,
+            "imind_node_cache_hits": self.imind_node_cache_hits,
             "idist_calls": self.idist_calls,
             "single_door_shortcuts": self.single_door_shortcuts,
+            "cache_evictions": self.cache_evictions,
         }
 
 
@@ -70,22 +111,36 @@ class VIPDistanceEngine:
 
     ``memoize`` controls the partition-level distance reuse that the
     *efficient* IFLS algorithm contributes (Section 5.3.1): caching
-    ``iMinD`` per partition pair and door-pair distances, plus the
-    single-door shortcut that lets all clients of a one-door partition
-    share a single computation.  The paper's baseline "considers each
-    client separately", so it runs on an engine with ``memoize=False``
-    where every call recomputes from the index matrices.
+    ``iMinD`` per partition pair, per (partition, node) pair, and
+    door-pair distances.  The paper's baseline "considers each client
+    separately", so it runs on an engine with ``memoize=False`` where
+    every call recomputes from the index matrices — the *code paths*
+    (including the single-door shortcut) are identical in both modes,
+    only the memo reuse differs.
+
+    ``max_cache_entries`` caps the combined size of the three memo
+    tables; ``None`` means unbounded.  Eviction is oldest-first from
+    the largest table, counted in ``stats.cache_evictions``.
     """
 
-    def __init__(self, tree: VIPTree, memoize: bool = True) -> None:
+    def __init__(
+        self,
+        tree: VIPTree,
+        memoize: bool = True,
+        max_cache_entries: Optional[int] = None,
+    ) -> None:
+        if max_cache_entries is not None and max_cache_entries < 1:
+            raise ValueError("max_cache_entries must be >= 1 or None")
         self.tree = tree
         self.venue: IndoorVenue = tree.venue
         self.memoize = memoize
+        self.max_cache_entries = max_cache_entries
         self.stats = DistanceStats()
         self._imind_pp: Dict[Tuple[PartitionId, PartitionId], float] = {}
+        self._imind_node: Dict[Tuple[PartitionId, int], float] = {}
         self._d2d_cache: Dict[Tuple[int, int], float] = {}
         # Per-partition door metadata, resolved once (structural, not a
-        # distance memo — kept in both modes).
+        # distance memo — kept in both modes and never evicted).
         self._doors_of: Dict[PartitionId, Tuple[int, ...]] = {}
         self._door_locations = {
             d.door_id: d.location for d in self.venue.doors()
@@ -96,6 +151,54 @@ class VIPDistanceEngine:
         out = self.stats
         self.stats = DistanceStats()
         return out
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def cache_sizes(self) -> Dict[str, int]:
+        """Entry counts of the three memo tables."""
+        return {
+            "imind_pp": len(self._imind_pp),
+            "imind_node": len(self._imind_node),
+            "d2d": len(self._d2d_cache),
+        }
+
+    def cache_entries(self) -> int:
+        """Total memoised entries across all tables."""
+        return (
+            len(self._imind_pp)
+            + len(self._imind_node)
+            + len(self._d2d_cache)
+        )
+
+    def cache_bytes(self) -> int:
+        """Approximate memory held by the memo tables (keys + values +
+        dict overhead; shared key/value objects counted once each)."""
+        total = 0
+        for cache in (self._imind_pp, self._imind_node, self._d2d_cache):
+            total += sys.getsizeof(cache)
+            for key, value in cache.items():
+                total += sys.getsizeof(key) + sys.getsizeof(value)
+        return total
+
+    def clear_caches(self) -> None:
+        """Drop every memoised distance (venue-edit invalidation)."""
+        self._imind_pp.clear()
+        self._imind_node.clear()
+        self._d2d_cache.clear()
+
+    def _store(self, cache: Dict, key, value: float) -> None:
+        cache[key] = value
+        budget = self.max_cache_entries
+        if budget is None:
+            return
+        while self.cache_entries() > budget:
+            victim = max(
+                (self._imind_pp, self._imind_node, self._d2d_cache),
+                key=len,
+            )
+            victim.pop(next(iter(victim)))
+            self.stats.cache_evictions += 1
 
     # ------------------------------------------------------------------
     # Internals
@@ -109,16 +212,16 @@ class VIPDistanceEngine:
 
     def door_to_door(self, a: int, b: int) -> float:
         """Door distance via the tree matrices (memoised if enabled)."""
+        self.stats.d2d_lookups += 1
         if not self.memoize:
-            self.stats.d2d_lookups += 1
             return self.tree.door_to_door(a, b)
         key = (a, b) if a <= b else (b, a)
         cached = self._d2d_cache.get(key)
         if cached is not None:
+            self.stats.d2d_cache_hits += 1
             return cached
-        self.stats.d2d_lookups += 1
         dist = self.tree.door_to_door(a, b)
-        self._d2d_cache[key] = dist
+        self._store(self._d2d_cache, key, dist)
         return dist
 
     # ------------------------------------------------------------------
@@ -128,6 +231,7 @@ class VIPDistanceEngine:
         """``iMinD`` between two partitions (0 when equal)."""
         if a == b:
             return 0.0
+        self.stats.imind_calls += 1
         key = (a, b) if a <= b else (b, a)
         if self.memoize:
             cached = self._imind_pp.get(key)
@@ -143,7 +247,7 @@ class VIPDistanceEngine:
                 if d < best:
                     best = d
         if self.memoize:
-            self._imind_pp[key] = best
+            self._store(self._imind_pp, key, best)
         return best
 
     def imind_node(self, partition_id: PartitionId, node: VIPNode) -> float:
@@ -152,10 +256,19 @@ class VIPDistanceEngine:
         0 when the node's subtree covers the partition; otherwise the
         best door→access-door matrix entry.  This is an exact lower
         bound for ``iDist(c, f)`` of any client ``c`` in the partition
-        and any facility ``f`` inside the node.
+        and any facility ``f`` inside the node.  Memoised per
+        ``(partition, node)`` so traversals of later queries in a
+        session reuse the bounds computed by earlier ones.
         """
         if self.tree.covers(node, partition_id):
             return 0.0
+        self.stats.imind_node_calls += 1
+        key = (partition_id, node.node_id)
+        if self.memoize:
+            cached = self._imind_node.get(key)
+            if cached is not None:
+                self.stats.imind_node_cache_hits += 1
+                return cached
         self.stats.distance_computations += 1
         best = INFINITY
         rows = self.tree.rows
@@ -165,6 +278,8 @@ class VIPDistanceEngine:
                 d = row.get(door_a)
                 if d is not None and d < best:
                     best = d
+        if self.memoize:
+            self._store(self._imind_node, key, best)
         return best
 
     # ------------------------------------------------------------------
@@ -174,8 +289,10 @@ class VIPDistanceEngine:
         """``iDist(c, p)``: exact client-to-partition indoor distance.
 
         Implements both cases of paper §5.3.1: the single-door shortcut
-        reuses the memoised ``iMinD`` of the client's partition, the
-        general case enumerates exit doors.
+        reuses ``iMinD`` of the client's partition, the general case
+        enumerates exit doors.  The shortcut depends only on the door
+        count — both ``memoize`` modes take the same code path, the
+        memoised mode merely reuses the cached ``iMinD``.
         """
         self.stats.idist_calls += 1
         source = client.partition_id
@@ -183,7 +300,7 @@ class VIPDistanceEngine:
             return 0.0
         partition = self.venue.partition(source)
         exit_doors = self._doors(source)
-        if len(exit_doors) == 1 and self.memoize:
+        if len(exit_doors) == 1:
             self.stats.single_door_shortcuts += 1
             door_location = self._door_locations[exit_doors[0]]
             offset = partition.intra_distance(client.location, door_location)

@@ -170,11 +170,13 @@ class TestCounters:
         assert {r.algorithm for r in rows} == {"efficient", "baseline"}
         efficient = next(r for r in rows if r.algorithm == "efficient")
         baseline = next(r for r in rows if r.algorithm == "baseline")
-        # The baseline never prunes clients; the efficient approach
-        # never leaves the non-memoised path unused.
+        # The baseline never prunes clients and never hits a memo; the
+        # efficient approach reuses cached distances.
         assert baseline.clients_pruned == 0
-        assert baseline.single_door_shortcuts == 0
+        assert baseline.cache_hits == 0
         assert efficient.clients_pruned > 0
         assert efficient.queue_pops > 0
+        assert efficient.cache_hits > 0
         text = format_counters(rows)
         assert "CPH" in text and "efficient" in text
+        assert "cache_hits" in text

@@ -55,5 +55,15 @@ class TestRunExperiment:
     def test_all_experiments_registered(self):
         assert set(ALL_EXPERIMENTS) == {
             "table1", "table2", "fig5", "fig6", "fig7", "fig8",
-            "ablation", "extensions", "counters",
+            "ablation", "extensions", "counters", "session",
         }
+
+    def test_session_via_runner(self):
+        lines = []
+        rows = run_experiment(
+            "session", scale=TINY, echo=lines.append
+        )
+        assert rows == []
+        text = "\n".join(lines)
+        assert "identical" in text
+        assert "warm" in text and "cold" in text

@@ -70,6 +70,37 @@ class TestPruning:
         assert result.answer == rooms[3]
         assert result.objective == 0.0
 
+    @pytest.mark.parametrize("count", [100, 400])
+    def test_lazy_prune_cost_is_linear(self, office, count):
+        """Pruning must stay amortised O(1) per removed client.
+
+        ``remove_from_group`` marks clients in a per-group pruned set;
+        compaction rebuilds a group's list only once the set covers
+        half of it, so each compaction pass removes at least as many
+        entries as it scans twice — total scan cost is bounded by
+        ``2 * |C|``.  The old eager list rebuild was O(|C|) *per
+        removal* (quadratic overall) and blows straight through this
+        bound.
+        """
+        venue, engine, rooms = office
+        clients = make_clients(venue, count, seed=5)
+        fs = facility_split(rooms, existing=4, candidates=8, seed=5)
+        result = efficient_minmax(engine.problem(clients, fs))
+        stats = result.stats
+        assert stats.group_compactions > 0
+        assert stats.group_compaction_cost <= 2 * count
+
+    def test_lazy_prune_cost_scales_linearly_with_clients(self, office):
+        venue, engine, rooms = office
+        fs = facility_split(rooms, existing=4, candidates=8, seed=5)
+        costs = {}
+        for count in (100, 400):
+            clients = make_clients(venue, count, seed=5)
+            result = efficient_minmax(engine.problem(clients, fs))
+            costs[count] = result.stats.group_compaction_cost
+        # 4x the clients: linear stays ~4x; quadratic would be ~16x.
+        assert costs[400] <= 8 * max(costs[100], 1)
+
     def test_pruned_clients_never_exceed_total(self, office):
         venue, engine, rooms = office
         clients = make_clients(venue, 50, seed=77)

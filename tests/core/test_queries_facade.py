@@ -99,8 +99,11 @@ class TestColdAndOptions:
         engine, clients, fs = office
         result = engine.query(clients, fs, algorithm="baseline",
                               cold=True)
-        # The memoisation shortcut never fires on the baseline's engine.
-        assert result.stats.distance.single_door_shortcuts == 0
+        # The baseline takes the same code paths (including the
+        # single-door shortcut) but its engine never serves a memo hit.
+        assert result.stats.distance.imind_cache_hits == 0
+        assert result.stats.distance.d2d_cache_hits == 0
+        assert result.stats.distance.imind_node_cache_hits == 0
 
     def test_measure_memory_flag(self, office):
         engine, clients, fs = office

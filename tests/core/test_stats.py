@@ -22,10 +22,21 @@ class TestDistanceStats:
         assert set(snap) == {
             "distance_computations",
             "d2d_lookups",
+            "d2d_cache_hits",
+            "imind_calls",
             "imind_cache_hits",
+            "imind_node_calls",
+            "imind_node_cache_hits",
             "idist_calls",
             "single_door_shortcuts",
+            "cache_evictions",
         }
+
+    def test_cache_hits_aggregate(self):
+        stats = DistanceStats(
+            d2d_cache_hits=2, imind_cache_hits=3, imind_node_cache_hits=5
+        )
+        assert stats.cache_hits == 10
 
 
 class TestQueryStats:

@@ -156,6 +156,108 @@ class TestPointToPoint:
                 )
 
 
+class TestCounterSemantics:
+    """Uniform counting (d2d) and memoize-independent shortcuts."""
+
+    def test_idist_identical_with_and_without_memoize(self, setup):
+        venue, _, _ = setup
+        tree = VIPTree(venue)
+        memo = VIPDistanceEngine(tree, memoize=True)
+        cold = VIPDistanceEngine(tree, memoize=False)
+        clients = make_clients(venue, 10, seed=21)
+        targets = sorted(venue.partition_ids())
+        for client in clients:
+            for target in targets:
+                assert memo.idist(client, target) == cold.idist(
+                    client, target
+                ), (client.client_id, target)
+
+    def test_shortcut_counted_in_both_modes(self, setup):
+        venue, _, _ = setup
+        tree = VIPTree(venue)
+        clients = make_clients(venue, 5, seed=22)
+        targets = sorted(venue.partition_ids())[:6]
+        counts = []
+        for memoize in (True, False):
+            engine = VIPDistanceEngine(tree, memoize=memoize)
+            for client in clients:
+                for target in targets:
+                    engine.idist(client, target)
+            counts.append(engine.stats.single_door_shortcuts)
+        assert counts[0] == counts[1] > 0
+
+    def test_d2d_lookups_counted_uniformly(self, setup):
+        venue, _, _ = setup
+        tree = VIPTree(venue)
+        doors = sorted(venue.door_ids())[:2]
+        for memoize in (True, False):
+            engine = VIPDistanceEngine(tree, memoize=memoize)
+            for _ in range(3):
+                engine.door_to_door(doors[0], doors[1])
+            # Every probe counts as a lookup, memoised or not ...
+            assert engine.stats.d2d_lookups == 3
+            if memoize:
+                # ... and with memoisation the repeats are hits.
+                assert engine.stats.d2d_cache_hits == 2
+            else:
+                assert engine.stats.d2d_cache_hits == 0
+
+    def test_hits_plus_computations_equals_calls(self, setup):
+        venue, _, _ = setup
+        tree = VIPTree(venue)
+        for memoize in (True, False):
+            engine = VIPDistanceEngine(tree, memoize=memoize)
+            clients = make_clients(venue, 6, seed=23)
+            for client in clients:
+                for target in sorted(venue.partition_ids()):
+                    engine.idist(client, target)
+            s = engine.stats
+            assert (
+                s.imind_cache_hits
+                + s.imind_node_cache_hits
+                + s.distance_computations
+                == s.imind_calls + s.imind_node_calls
+            )
+
+
+class TestEviction:
+    def test_budget_bounds_cache_entries(self, setup):
+        venue, _, _ = setup
+        engine = VIPDistanceEngine(
+            VIPTree(venue), memoize=True, max_cache_entries=25
+        )
+        pids = sorted(venue.partition_ids())
+        for a in pids:
+            for b in pids:
+                engine.imind_partitions(a, b)
+                assert engine.cache_entries() <= 25
+        assert engine.stats.cache_evictions > 0
+
+    def test_eviction_preserves_values(self, setup):
+        venue, _, exact = setup
+        engine = VIPDistanceEngine(
+            VIPTree(venue), memoize=True, max_cache_entries=10
+        )
+        pids = sorted(venue.partition_ids())
+        for a in pids[:8]:
+            for b in pids[-8:]:
+                assert engine.imind_partitions(a, b) == pytest.approx(
+                    exact.partition_to_partition(a, b)
+                )
+
+    def test_clear_caches_empties_tables(self, setup):
+        venue, _, _ = setup
+        engine = VIPDistanceEngine(VIPTree(venue))
+        pids = sorted(venue.partition_ids())
+        engine.imind_partitions(pids[0], pids[3])
+        assert engine.cache_entries() > 0
+        engine.clear_caches()
+        assert engine.cache_entries() == 0
+        assert engine.cache_sizes() == {
+            "imind_pp": 0, "imind_node": 0, "d2d": 0
+        }
+
+
 class TestStatsManagement:
     def test_reset_stats_returns_previous(self, setup):
         venue, _, _ = setup

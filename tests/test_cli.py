@@ -20,6 +20,21 @@ class TestParser:
         args = build_parser().parse_args(["bench"])
         assert args.experiment == "all"
 
+    def test_query_batch_defaults(self):
+        args = build_parser().parse_args(["query", "CPH"])
+        assert args.batch == 1
+        assert args.session_stats is False
+        assert args.cache_budget is None
+
+    def test_query_batch_flags(self):
+        args = build_parser().parse_args([
+            "query", "CPH", "--batch", "8", "--session-stats",
+            "--cache-budget", "5000",
+        ])
+        assert args.batch == 8
+        assert args.session_stats is True
+        assert args.cache_budget == 5000
+
 
 class TestCommands:
     def test_venues(self, capsys):
@@ -65,6 +80,33 @@ class TestCommands:
         assert main([
             "query", "CPH", "--clients", "30", "--objective", "mindist",
         ]) == 0
+
+    def test_query_batch_session(self, capsys):
+        assert main([
+            "query", "CPH", "--clients", "30", "--batch", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 queries answered" in out
+        assert "hits:" in out
+        assert "seeds 0..3" in out
+
+    def test_query_batch_session_stats_and_budget(self, capsys):
+        assert main([
+            "query", "CPH", "--clients", "25", "--batch", "3",
+            "--session-stats", "--cache-budget", "4000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "budget 4000" in out
+        # Per-query table is printed when --session-stats is given.
+        assert "objective" in out and "computed" in out
+
+    def test_query_batch_ignores_non_efficient_algorithm(self, capsys):
+        assert main([
+            "query", "CPH", "--clients", "20", "--batch", "2",
+            "--algorithm", "bruteforce",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "--algorithm bruteforce ignored" in out
 
     def test_bench_table2(self, capsys):
         assert main(["bench", "--experiment", "table2"]) == 0

@@ -7,6 +7,17 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parents[1]
 
 
+def _load_tool(name):
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        name, ROOT / "tools" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
 def test_gen_api_docs_runs(tmp_path, monkeypatch):
     import importlib.util
 
@@ -21,3 +32,22 @@ def test_gen_api_docs_runs(tmp_path, monkeypatch):
     assert "# API reference" in text
     assert "repro.core.efficient" in text
     assert "repro.index.viptree" in text
+
+
+def test_check_counters_invariants_hold():
+    """The canned counter-drift workload reports zero violations."""
+    module = _load_tool("check_counters")
+    assert module.run_checks() == []
+
+
+def test_check_counters_detects_drift():
+    """A deliberately broken counter trips the checker."""
+    from repro.core.stats import QueryStats
+
+    module = _load_tool("check_counters")
+    stats = QueryStats(algorithm="broken")
+    stats.queue_pushes = 2
+    stats.queue_pops = 5  # pops exceed pushes: impossible
+    stats.iterations = 5
+    violations = module.check_query_stats("broken", stats)
+    assert any("queue_pops" in v for v in violations)

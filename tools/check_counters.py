@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Counter-invariant lint: fail fast on statistics drift.
+
+Runs a small canned workload through every algorithm/objective path
+(efficient minmax/mindist/maxsum, the baseline, ablation variants, and
+a warm :class:`QuerySession` with and without an eviction budget) and
+asserts the structural invariants of :class:`QueryStats` /
+:class:`DistanceStats`:
+
+* ``queue_pops <= queue_pushes``; for heap-driven traversals
+  ``iterations == queue_pops``;
+* every memo hit corresponds to a request:
+  ``d2d_cache_hits <= d2d_lookups``;
+* hits + computations = calls:
+  ``imind_cache_hits + imind_node_cache_hits + distance_computations
+  == imind_calls + imind_node_calls``;
+* ``single_door_shortcuts <= idist_calls``;
+* ``clients_pruned <= clients_total``; no counter is negative;
+* a non-memoising engine reports zero cache hits;
+* session totals equal the sum of the per-query deltas.
+
+Exit code 0 when clean, 1 with one line per violation — cheap enough
+to run in tier-1 tests (see ``tests/test_tools.py``), so any future
+change to the counter semantics that breaks baseline-vs-efficient
+comparability fails immediately.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_counters.py
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+from typing import List
+
+if __name__ == "__main__":  # allow running from a source checkout
+    _src = Path(__file__).resolve().parents[1] / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro import (  # noqa: E402
+    BatchQuery,
+    EfficientOptions,
+    IFLSEngine,
+    QueryStats,
+    TOP_DOWN,
+)
+from repro.core.baseline import modified_minmax  # noqa: E402
+from repro.core.problem import IFLSProblem  # noqa: E402
+from repro.datasets import small_office  # noqa: E402
+from repro.datasets.workloads import (  # noqa: E402
+    random_facility_sets,
+    uniform_clients,
+)
+from repro.index.distance import VIPDistanceEngine  # noqa: E402
+
+
+def check_query_stats(label: str, stats: QueryStats) -> List[str]:
+    """All invariant violations of one query's counters (empty = ok)."""
+    out: List[str] = []
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            out.append(f"{label}: {message}")
+
+    for key, value in stats.snapshot().items():
+        if key == "algorithm":
+            continue
+        expect(value >= 0, f"counter {key} is negative ({value})")
+    expect(
+        stats.queue_pops <= stats.queue_pushes,
+        f"queue_pops {stats.queue_pops} > "
+        f"queue_pushes {stats.queue_pushes}",
+    )
+    if stats.queue_pushes:  # heap-driven traversal (efficient path)
+        expect(
+            stats.iterations == stats.queue_pops,
+            f"iterations {stats.iterations} != "
+            f"queue_pops {stats.queue_pops}",
+        )
+    expect(
+        stats.clients_pruned <= stats.clients_total,
+        f"clients_pruned {stats.clients_pruned} > "
+        f"clients_total {stats.clients_total}",
+    )
+    d = stats.distance
+    expect(
+        d.d2d_cache_hits <= d.d2d_lookups,
+        f"d2d_cache_hits {d.d2d_cache_hits} > "
+        f"d2d_lookups {d.d2d_lookups}",
+    )
+    expect(
+        d.imind_cache_hits + d.imind_node_cache_hits
+        + d.distance_computations
+        == d.imind_calls + d.imind_node_calls,
+        "hits + computations != calls "
+        f"({d.imind_cache_hits} + {d.imind_node_cache_hits} + "
+        f"{d.distance_computations} != "
+        f"{d.imind_calls} + {d.imind_node_calls})",
+    )
+    expect(
+        d.single_door_shortcuts <= d.idist_calls,
+        f"single_door_shortcuts {d.single_door_shortcuts} > "
+        f"idist_calls {d.idist_calls}",
+    )
+    return out
+
+
+def run_checks() -> List[str]:
+    """Execute the canned workload; return every violation found."""
+    violations: List[str] = []
+    venue = small_office(levels=2, rooms=24)
+    engine = IFLSEngine(venue)
+    rng = random.Random(0xC0FFEE)
+    facilities = random_facility_sets(venue, 4, 8, rng)
+    clients = uniform_clients(venue, 60, rng)
+
+    # Every efficient objective, plus ablation variants (minmax).
+    for objective in ("minmax", "mindist", "maxsum"):
+        result = engine.query(clients, facilities, objective=objective,
+                              cold=True)
+        violations += check_query_stats(f"efficient/{objective}",
+                                        result.stats)
+    for name, options in (
+        ("no-prune", EfficientOptions(prune_clients=False)),
+        ("no-group", EfficientOptions(group_by_partition=False)),
+        ("top-down", EfficientOptions(traversal=TOP_DOWN)),
+    ):
+        result = engine.query(clients, facilities, options=options,
+                              cold=True)
+        violations += check_query_stats(f"ablation/{name}", result.stats)
+
+    # Baseline: same invariants, and never a memo hit.
+    distances = VIPDistanceEngine(engine.tree, memoize=False)
+    problem = IFLSProblem(distances, clients, facilities)
+    result = modified_minmax(problem)
+    violations += check_query_stats("baseline", result.stats)
+    if result.stats.distance.cache_hits != 0:
+        violations.append(
+            "baseline: non-memoising engine reported "
+            f"{result.stats.distance.cache_hits} cache hits"
+        )
+
+    # Warm session: per-query deltas must sum to the engine totals.
+    for budget, label in ((None, "session"), (500, "session/bounded")):
+        session = engine.session(max_cache_entries=budget)
+        batch = []
+        for i in range(4):
+            batch_rng = random.Random(i)
+            batch.append(
+                BatchQuery(
+                    uniform_clients(venue, 30, batch_rng),
+                    random_facility_sets(venue, 3, 6, batch_rng),
+                    objective=("minmax", "mindist", "maxsum")[i % 3],
+                )
+            )
+        session.run(batch)
+        report = session.report()
+        summed = {}
+        for record in report.records:
+            for key, value in record.distance_delta.items():
+                summed[key] = summed.get(key, 0) + value
+        if summed != report.totals:
+            violations.append(
+                f"{label}: per-query deltas do not sum to totals "
+                f"({summed} != {report.totals})"
+            )
+        if budget is not None and report.cache_entries > budget:
+            violations.append(
+                f"{label}: {report.cache_entries} cache entries exceed "
+                f"budget {budget}"
+            )
+    return violations
+
+
+def main() -> int:
+    violations = run_checks()
+    if violations:
+        for violation in violations:
+            print(f"COUNTER DRIFT: {violation}", file=sys.stderr)
+        return 1
+    print("counter invariants ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
