@@ -19,7 +19,6 @@ read side by side from the benchmark JSON.
 
 from __future__ import annotations
 
-import itertools
 import random
 
 import pytest

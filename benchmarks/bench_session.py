@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.bench.reporting import format_cache_effectiveness
 from repro.core.efficient import efficient_minmax

@@ -30,12 +30,15 @@ from .core import (
     BatchQuery,
     DynamicIFLSSession,
     EfficientOptions,
+    IndexSnapshot,
     MovingClientSimulator,
     IFLSEngine,
+    ParallelBatchOutcome,
     QuerySession,
     RankedCandidate,
     SessionQueryRecord,
     SessionReport,
+    run_batch_parallel,
     top_k_ifls,
     IFLSProblem,
     IFLSResult,
@@ -44,6 +47,7 @@ from .core import (
 )
 from .errors import (
     DisconnectedVenueError,
+    ParallelExecutionError,
     QueryError,
     ReproError,
     UnreachableFacilityError,
@@ -62,9 +66,15 @@ from .indoor import (
     Rect,
     VenueBuilder,
 )
-from .index import FacilitySearch, PathService, Route, VIPDistanceEngine, VIPTree
+from .index import (
+    FacilitySearch,
+    PathService,
+    Route,
+    VIPDistanceEngine,
+    VIPTree,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BASELINE",
@@ -84,8 +94,12 @@ __all__ = [
     "IFLSEngine",
     "IFLSProblem",
     "IFLSResult",
+    "IndexSnapshot",
     "MovingClientSimulator",
     "IndoorVenue",
+    "ParallelBatchOutcome",
+    "ParallelExecutionError",
+    "run_batch_parallel",
     "MAXSUM",
     "MINDIST",
     "MINMAX",

@@ -12,6 +12,13 @@ query *batch*: the same workload sequence answered cold (fresh distance
 engine per query) and warm (one :class:`~repro.core.session.QuerySession`),
 with identical answers asserted and the distance-computation savings
 reported via :func:`~repro.bench.reporting.format_cache_effectiveness`.
+
+:func:`measure_parallel_counters` does the same for the sharded
+process-pool executor (:mod:`repro.core.parallel`): one batch answered
+serially and with a worker pool, answers asserted identical and the
+merged per-worker counters re-checked against the
+:class:`~repro.index.distance.DistanceStats` invariants, so the
+deterministic stat merging is verifiable independent of wall-clock.
 """
 
 from __future__ import annotations
@@ -193,6 +200,104 @@ def measure_session_counters(
 
 
 _SESSION_SEED = 0x5E55
+
+
+@dataclass
+class ParallelCounterRow:
+    """Serial-vs-sharded batch comparison on one venue."""
+
+    venue: str
+    queries: int
+    workers: int
+    serial: Dict[str, int]
+    merged: Dict[str, int]
+    answers_identical: bool
+    invariant_violations: List[str]
+
+
+def measure_parallel_counters(
+    scale: Optional[Scale] = None,
+    cache: Optional[EngineCache] = None,
+    venues: Sequence[str] = ("MC",),
+    workers: int = 2,
+    batch_size: int = 8,
+    clients_per_query: int = 2_000,
+) -> List[ParallelCounterRow]:
+    """Answer one batch per venue serially and sharded over a pool.
+
+    Answers must agree exactly (sharding only redistributes cache
+    warmth); the merged per-worker totals must satisfy every
+    :class:`DistanceStats` ledger invariant, which
+    :func:`~repro.core.stats.distance_invariant_violations` re-checks
+    here so stat-merging drift shows up in bench output, not just CI.
+    """
+    from ..core.parallel import run_batch_parallel
+    from ..core.session import BatchQuery
+    from ..core.stats import distance_invariant_violations
+
+    scale = scale or current_scale()
+    cache = cache or EngineCache()
+    rows: List[ParallelCounterRow] = []
+    count = scale.clients(clients_per_query)
+    for venue_name in venues:
+        engine = cache.engine(venue_name)
+        batch = []
+        for i in range(batch_size):
+            rng = random.Random(_SESSION_SEED + 1_000 + i)
+            facilities = random_facility_sets(
+                engine.venue,
+                default_fe(venue_name),
+                default_fn(venue_name),
+                rng,
+            )
+            clients = uniform_clients(engine.venue, count, rng)
+            batch.append(BatchQuery(clients, facilities))
+        serial = run_batch_parallel(engine, batch, 1)
+        sharded = run_batch_parallel(engine, batch, workers)
+        rows.append(
+            ParallelCounterRow(
+                venue=venue_name,
+                queries=batch_size,
+                workers=sharded.workers,
+                serial=serial.report.totals,
+                merged=sharded.report.totals,
+                answers_identical=serial.answers == sharded.answers,
+                invariant_violations=distance_invariant_violations(
+                    sharded.report.totals
+                ),
+            )
+        )
+    return rows
+
+
+def format_parallel_counters(rows: Sequence[ParallelCounterRow]) -> str:
+    """Serial-vs-merged counter tables, one per venue."""
+    from .reporting import format_cache_effectiveness
+
+    blocks = []
+    for row in rows:
+        table = format_cache_effectiveness(
+            [
+                ("serial (1 worker)", row.serial),
+                (f"sharded ({row.workers} workers)", row.merged),
+            ],
+            title=(
+                f"{row.venue}: {row.queries}-query batch, serial vs "
+                f"{row.workers}-worker pool (merged counters)"
+            ),
+        )
+        agree = "yes" if row.answers_identical else "NO — BUG"
+        invariants = (
+            "ok"
+            if not row.invariant_violations
+            else "; ".join(row.invariant_violations)
+        )
+        blocks.append(
+            f"{table}\n"
+            f"answers identical: {agree}; "
+            f"merged-counter invariants: {invariants}"
+        )
+    return "\n\n".join(blocks)
 
 
 def format_session_counters(rows: Sequence[SessionCounterRow]) -> str:

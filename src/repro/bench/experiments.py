@@ -466,6 +466,78 @@ def extensions(
     return rows
 
 
+# ---------------------------------------------------------------------------
+# Parallel batch executor: wall-clock scaling across worker counts
+# ---------------------------------------------------------------------------
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def parallel_scaling(
+    scale: Optional[Scale] = None,
+    cache: Optional[EngineCache] = None,
+    venue_name: str = MC,
+    worker_counts: Sequence[int] = WORKER_COUNTS,
+    queries: Optional[int] = None,
+) -> List[Row]:
+    """Wall-clock of one warm batch, sharded over 1/2/4/8 workers.
+
+    The same batch (fresh workload per query, identical across worker
+    counts) is answered through :func:`~repro.core.parallel.run_batch_parallel`
+    at each pool size; answers are asserted identical, so the series
+    measures pure execution scaling.  Per worker count the best of
+    ``scale.repeats`` runs is reported (pool startup noise suppressed).
+    Speedup is bounded by the machine's core count — a single-core
+    runner shows ~1x with the sharding overhead on top.
+    """
+    from ..core.parallel import run_batch_parallel
+    from ..core.session import BatchQuery
+
+    scale = scale or current_scale()
+    cache = cache or EngineCache()
+    engine = cache.engine(venue_name)
+    if queries is None:
+        queries = max(8, 4 * scale.repeats)
+    count = scale.clients(5_000)
+    batch = []
+    for i in range(queries):
+        rng = random.Random(_seed("parallel", venue_name, i))
+        facilities = random_facility_sets(
+            engine.venue,
+            default_fe(venue_name),
+            default_fn(venue_name),
+            rng,
+        )
+        clients = uniform_clients(engine.venue, count, rng)
+        batch.append(BatchQuery(clients, facilities))
+    reference = None
+    rows: List[Row] = []
+    for workers in worker_counts:
+        times: List[float] = []
+        for _ in range(scale.repeats):
+            outcome = run_batch_parallel(engine, batch, workers)
+            times.append(outcome.elapsed_seconds)
+            if reference is None:
+                reference = outcome.answers
+            elif outcome.answers != reference:
+                raise RuntimeError(
+                    f"parallel answers diverged at workers={workers}"
+                )
+        rows.append(
+            Row(
+                experiment="parallel",
+                venue=venue_name,
+                setting="batch",
+                parameter="workers",
+                value=workers,
+                algorithm="parallel",
+                time_seconds=min(times),
+                memory_mb=0.0,
+                objective=None,
+            )
+        )
+    return rows
+
+
 EXPERIMENTS: Dict[str, Callable[..., List[Row]]] = {
     "fig5": fig5,
     "fig6": fig6,
@@ -474,4 +546,5 @@ EXPERIMENTS: Dict[str, Callable[..., List[Row]]] = {
     "fig78": fig78,
     "ablation": ablations,
     "extensions": extensions,
+    "parallel": parallel_scaling,
 }

@@ -2,12 +2,16 @@
 
 Renders the paper-style series (one line per parameter value, with the
 two algorithms side by side and the efficient-over-baseline speedup)
-and writes machine-readable CSV next to the text output.
+and writes machine-readable CSV and JSON next to the text output.  The
+JSON form carries run metadata (experiment, scale, schema version) so
+CI can archive one self-describing artifact per experiment and a perf
+trajectory accumulates across builds.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -164,6 +168,72 @@ def read_csv(path: Path) -> List[Row]:
                 )
             )
     return rows
+
+
+def write_json(
+    rows: Iterable[Row],
+    path: Path,
+    experiment: str = "",
+    scale: str = "",
+) -> None:
+    """Persist rows as a self-describing JSON document.
+
+    Schema (version 1)::
+
+        {"schema": 1, "experiment": "...", "scale": "...",
+         "rows": [{"experiment": ..., "venue": ..., ...}, ...]}
+
+    Row fields mirror :func:`write_csv` columns with native types
+    (``objective`` is ``null`` when absent).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "schema": 1,
+        "experiment": experiment,
+        "scale": scale,
+        "rows": [
+            {
+                "experiment": row.experiment,
+                "venue": row.venue,
+                "setting": row.setting,
+                "parameter": row.parameter,
+                "value": row.value,
+                "algorithm": row.algorithm,
+                "time_seconds": row.time_seconds,
+                "memory_mb": row.memory_mb,
+                "objective": row.objective,
+            }
+            for row in rows
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def read_json(path: Path) -> List[Row]:
+    """Load rows previously persisted with :func:`write_json`."""
+    with open(path) as handle:
+        document = json.load(handle)
+    return [
+        Row(
+            experiment=record["experiment"],
+            venue=record["venue"],
+            setting=record["setting"],
+            parameter=record["parameter"],
+            value=float(record["value"]),
+            algorithm=record["algorithm"],
+            time_seconds=float(record["time_seconds"]),
+            memory_mb=float(record["memory_mb"]),
+            objective=(
+                None
+                if record["objective"] is None
+                else float(record["objective"])
+            ),
+        )
+        for record in document["rows"]
+    ]
 
 
 def write_csv(rows: Iterable[Row], path: Path) -> None:

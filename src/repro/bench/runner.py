@@ -25,15 +25,23 @@ from .experiments import (
     fig5,
     fig6,
     fig78,
+    parallel_scaling,
 )
 from .counters import (
     format_counters,
+    format_parallel_counters,
     format_session_counters,
     measure_counters,
+    measure_parallel_counters,
     measure_session_counters,
 )
 from .plots import plot_rows
-from .reporting import format_series, summarize_speedups, write_csv
+from .reporting import (
+    format_series,
+    summarize_speedups,
+    write_csv,
+    write_json,
+)
 from .tables import format_table1, format_table2
 
 _FIGURES = {
@@ -46,7 +54,8 @@ _FIGURES = {
 }
 
 ALL_EXPERIMENTS = ("table1", "table2", "fig5", "fig6", "fig7", "fig8",
-                   "ablation", "extensions", "counters", "session")
+                   "ablation", "extensions", "counters", "session",
+                   "parallel")
 
 
 def run_experiment(
@@ -73,6 +82,34 @@ def run_experiment(
             measure_session_counters(scale=scale, cache=cache)
         ))
         return []
+    if name == "parallel":
+        rows = parallel_scaling(scale=scale, cache=cache)
+        echo(format_series(
+            rows, metric="time",
+            title=(
+                f"Parallel batch executor: wall-clock vs workers "
+                f"[scale={scale.name}]"
+            ),
+        ))
+        serial = next(
+            (r for r in rows if r.value == 1 and r.time_seconds > 0),
+            None,
+        )
+        if serial is not None:
+            echo("")
+            echo("Scaling vs 1 worker (same batch, identical answers):")
+            for row in rows:
+                speedup = serial.time_seconds / row.time_seconds
+                echo(
+                    f"  workers={int(row.value):<3} "
+                    f"{row.time_seconds:8.3f}s   {speedup:5.2f}x"
+                )
+        echo("")
+        echo(format_parallel_counters(
+            measure_parallel_counters(scale=scale, cache=cache)
+        ))
+        _persist(rows, name, scale, out_dir, echo)
+        return rows
     try:
         fn, title = _FIGURES[name]
     except KeyError:
@@ -96,11 +133,25 @@ def run_experiment(
         echo("Speedup summary (efficient over baseline, time):")
         for label, (mean, peak) in sorted(speedups.items()):
             echo(f"  {label:<40} mean {mean:6.2f}x   max {peak:6.2f}x")
-    if out_dir is not None:
-        path = Path(out_dir) / f"{name}.csv"
-        write_csv(rows, path)
-        echo(f"\nwrote {path}")
+    _persist(rows, name, scale, out_dir, echo)
     return rows
+
+
+def _persist(
+    rows: List[Row],
+    name: str,
+    scale: Scale,
+    out_dir: Optional[Path],
+    echo,
+) -> None:
+    """Write CSV + JSON artifacts for one experiment's rows."""
+    if out_dir is None or not rows:
+        return
+    csv_path = Path(out_dir) / f"{name}.csv"
+    write_csv(rows, csv_path)
+    json_path = Path(out_dir) / f"{name}.json"
+    write_json(rows, json_path, experiment=name, scale=scale.name)
+    echo(f"\nwrote {csv_path} and {json_path}")
 
 
 def run_all(
@@ -129,10 +180,7 @@ def run_all(
             ))
             echo("")
             echo(plot_rows(rows, metric="memory"))
-            if out_dir is not None:
-                path = Path(out_dir) / "fig8.csv"
-                write_csv(rows, path)
-                echo(f"\nwrote {path}")
+            _persist(rows, "fig8", scale, out_dir, echo)
             results[name] = rows
             continue
         results[name] = run_experiment(

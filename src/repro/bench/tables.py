@@ -29,8 +29,10 @@ class TaxonomyEntry:
 
 
 TABLE1: Tuple[TaxonomyEntry, ...] = (
-    TaxonomyEntry("[2] Chen et al. 2014", ("MinDist", "MinMax"), "C", "RN", "k"),
-    TaxonomyEntry("[22] Xiao et al. 2011", ("MaxInf", "MinDist", "MinMax"), "C", "RN", "1"),
+    TaxonomyEntry("[2] Chen et al. 2014", ("MinDist", "MinMax"), "C",
+                  "RN", "k"),
+    TaxonomyEntry("[22] Xiao et al. 2011",
+                  ("MaxInf", "MinDist", "MinMax"), "C", "RN", "1"),
     TaxonomyEntry("[4] Cui et al. 2018", ("MinDist",), "D", "RN", "1"),
     TaxonomyEntry("[7] Gao et al. 2015", ("MaxInf",), "D", "E", "k"),
     TaxonomyEntry("[21] Xia et al. 2005", ("MaxInf",), "D", "E", "k"),

@@ -6,7 +6,8 @@ Installed as ``ifls`` (see pyproject) and runnable as
 * ``ifls venues`` — list the built-in venues with their statistics;
 * ``ifls info VENUE`` — venue + VIP-tree details;
 * ``ifls query VENUE`` — run one synthetic IFLS query and print the
-  answer, objective, and execution statistics;
+  answer, objective, and execution statistics (``--batch N
+  --workers W`` answers a warm batch, sharded over ``W`` processes);
 * ``ifls bench`` — regenerate the paper's tables and figures.
 """
 
@@ -57,7 +58,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     fn = args.candidates if args.candidates else default_fn(
         args.venue.upper()
     )
-    if args.batch > 1 or args.session_stats:
+    if args.batch > 1 or args.session_stats or args.workers > 1:
         return _run_query_batch(args, venue, fe, fn)
     clients, facilities = workload(
         venue,
@@ -106,6 +107,9 @@ def _run_query_batch(args: argparse.Namespace, venue, fe: int, fn: int) -> int:
     if args.algorithm != "efficient":
         print("batch mode uses the efficient algorithm "
               f"(--algorithm {args.algorithm} ignored)")
+    if args.workers < 1:
+        print(f"--workers must be >= 1 (got {args.workers})")
+        return 2
     engine = IFLSEngine(venue)
     session = engine.session(max_cache_entries=args.cache_budget)
     batch = []
@@ -128,12 +132,17 @@ def _run_query_batch(args: argparse.Namespace, venue, fe: int, fn: int) -> int:
             )
         )
     started = time.perf_counter()
-    results = session.run(batch)
+    results = session.run(batch, workers=args.workers)
     elapsed = time.perf_counter() - started
     print(f"venue:      {venue.name} ({venue.partition_count} partitions)")
     print(f"batch:      {args.batch} x |C|={args.clients} |Fe|={fe} "
           f"|Fn|={fn} seeds {args.seed}..{args.seed + args.batch - 1}")
-    print(f"objective:  {args.objective} (efficient, warm session)")
+    mode = (
+        "efficient, warm session"
+        if args.workers == 1
+        else f"efficient, {args.workers} workers"
+    )
+    print(f"objective:  {args.objective} ({mode})")
     print(f"time:       {elapsed:.3f}s total, "
           f"{elapsed / args.batch:.4f}s/query")
     improved = sum(1 for r in results if r.answer is not None)
@@ -329,6 +338,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--batch", type=int, default=1,
                        help="answer N fresh-workload queries through "
                             "one warm QuerySession")
+    query.add_argument("--workers", type=int, default=1,
+                       help="shard the batch across N worker processes "
+                            "(1 = serial warm session)")
     query.add_argument("--session-stats", action="store_true",
                        help="print per-query cache-effectiveness rows")
     query.add_argument("--cache-budget", type=int, default=None,

@@ -17,6 +17,11 @@ from .efficient import (
 from .maxsum import efficient_maxsum
 from .moving import MovingClientSimulator, WALKING_SPEED
 from .mindist import efficient_mindist
+from .parallel import (
+    IndexSnapshot,
+    ParallelBatchOutcome,
+    run_batch_parallel,
+)
 from .problem import IFLSProblem
 from .queries import (
     BASELINE,
@@ -35,7 +40,12 @@ from .session import (
     SessionReport,
 )
 from .topk import RankedCandidate, TopKStats, top_k_ifls
-from .stats import QueryStats
+from .stats import (
+    QueryStats,
+    distance_invariant_violations,
+    merge_query_stats,
+    merge_snapshots,
+)
 
 __all__ = [
     "BASELINE",
@@ -54,6 +64,12 @@ __all__ = [
     "FacilityStream",
     "IFLSEngine",
     "IFLSProblem",
+    "IndexSnapshot",
+    "ParallelBatchOutcome",
+    "run_batch_parallel",
+    "distance_invariant_violations",
+    "merge_query_stats",
+    "merge_snapshots",
     "MovingClientSimulator",
     "WALKING_SPEED",
     "IFLSResult",

@@ -256,18 +256,55 @@ class QuerySession:
             )
         return result
 
-    def run(self, batch: Iterable[BatchQuery]) -> List[IFLSResult]:
-        """Answer a whole batch in order; caches stay warm throughout."""
-        return [
-            self.query(
-                query.clients,
-                query.facilities,
-                objective=query.objective,
-                options=query.options,
-                label=query.label or f"q{self.queries_answered + 1}",
-            )
-            for query in batch
-        ]
+    def run(
+        self, batch: Iterable[BatchQuery], workers: int = 1
+    ) -> List[IFLSResult]:
+        """Answer a whole batch; results always follow submission order.
+
+        ``workers=1`` (default) answers serially on this session's own
+        warm engine — the original code path, byte for byte.
+        ``workers > 1`` shards the batch across a process pool
+        (:func:`~repro.core.parallel.run_batch_parallel`): each worker
+        runs its own warm session over the shared venue + VIP-tree, and
+        the per-worker distance counters and query records are merged
+        back into *this* session afterwards, so :meth:`report` keeps
+        describing everything the session has answered.  Answers are
+        identical for every worker count; only cache-warmth accounting
+        differs.  Note the workers' memo tables die with the pool —
+        ``report().cache_entries`` keeps reflecting this process's own
+        engine only.
+        """
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
+        batch = list(batch)
+        if workers == 1 or len(batch) <= 1:
+            return [
+                self.query(
+                    query.clients,
+                    query.facilities,
+                    objective=query.objective,
+                    options=query.options,
+                    label=query.label or f"q{self.queries_answered + 1}",
+                )
+                for query in batch
+            ]
+        from ..index.distance import DistanceStats
+        from .parallel import run_batch_parallel
+
+        outcome = run_batch_parallel(
+            self.engine,
+            batch,
+            workers,
+            max_cache_entries=self.distances.max_cache_entries,
+            keep_records=self.keep_records,
+        )
+        base = self.queries_answered
+        for record in outcome.report.records:
+            record.index += base
+            self.records.append(record)
+        self.queries_answered += len(batch)
+        self.distances.stats.merge(DistanceStats(**outcome.report.totals))
+        return outcome.results
 
     # ------------------------------------------------------------------
     # Cache statistics and lifecycle

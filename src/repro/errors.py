@@ -47,3 +47,13 @@ class EmptyCandidateSetError(QueryError):
 
 class UnreachableFacilityError(QueryError):
     """A client cannot reach any facility (infinite indoor distance)."""
+
+
+class ParallelExecutionError(QueryError):
+    """A parallel batch shard failed or its worker process died.
+
+    Raised by :mod:`repro.core.parallel` instead of letting a pool
+    failure surface as a hang or a bare ``BrokenProcessPool``: the
+    message names the shard and worker count and chains the original
+    worker exception as ``__cause__``.
+    """

@@ -15,8 +15,9 @@ Implements the three distance primitives the IFLS algorithms consume
 
 The engine memoises ``iMinD`` per partition pair *and* per
 (partition, node) pair, plus door-pair distances, which is what makes
-the paper's client-grouping pay off and what :class:`~repro.core.session.QuerySession`
-keeps warm across a whole query batch.  ``max_cache_entries`` bounds
+the paper's client-grouping pay off and what
+:class:`~repro.core.session.QuerySession` keeps warm across a whole
+query batch.  ``max_cache_entries`` bounds
 the total number of memoised entries; the oldest entries are evicted
 first (insertion order), so a long-lived session's memory stays flat.
 

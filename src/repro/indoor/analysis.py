@@ -11,7 +11,6 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from .entities import PartitionKind
 from .venue import IndoorVenue
 
 

@@ -159,7 +159,8 @@ class VenueBuilder:
                 f"connect_levels expects consecutive levels, got "
                 f"{lower_level} and {upper_level}"
             )
-        rect = Rect(at.x - 1.0, at.y - 1.0, at.x + 1.0, at.y + 1.0, lower_level)
+        rect = Rect(at.x - 1.0, at.y - 1.0, at.x + 1.0, at.y + 1.0,
+                    lower_level)
         stair = self.add_staircase(rect, stair_length, name=name or "stair")
         self.add_door(
             Point(at.x, at.y, lower_level), lower, stair,

@@ -56,6 +56,7 @@ class TestRunExperiment:
         assert set(ALL_EXPERIMENTS) == {
             "table1", "table2", "fig5", "fig6", "fig7", "fig8",
             "ablation", "extensions", "counters", "session",
+            "parallel",
         }
 
     def test_session_via_runner(self):
@@ -67,3 +68,21 @@ class TestRunExperiment:
         text = "\n".join(lines)
         assert "identical" in text
         assert "warm" in text and "cold" in text
+
+    def test_parallel_via_runner_writes_artifacts(self, tmp_path):
+        lines = []
+        rows = run_experiment(
+            "parallel", scale=TINY, out_dir=tmp_path, echo=lines.append
+        )
+        assert rows
+        assert {int(r.value) for r in rows} == {1, 2, 4, 8}
+        text = "\n".join(lines)
+        assert "answers identical: yes" in text
+        assert "merged-counter invariants: ok" in text
+        assert (tmp_path / "parallel.csv").exists()
+        json_path = tmp_path / "parallel.json"
+        assert json_path.exists()
+        from repro.bench.reporting import read_json
+
+        loaded = read_json(json_path)
+        assert [r.value for r in loaded] == [r.value for r in rows]

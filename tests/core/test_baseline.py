@@ -6,7 +6,7 @@ from repro import FacilitySets, IFLSEngine, ResultStatus
 from repro.core.baseline import modified_minmax
 from repro.core.bruteforce import brute_force_minmax
 from repro.datasets import small_office
-from tests.conftest import build_corridor_venue, facility_split, make_clients
+from tests.conftest import facility_split, make_clients
 
 
 @pytest.fixture(scope="module")

@@ -14,7 +14,7 @@ from repro.core.bruteforce import brute_force_minmax
 from repro.core.efficient import FacilityStream, efficient_minmax, make_groups
 from repro.datasets import small_office
 from repro.errors import QueryError
-from tests.conftest import build_corridor_venue, facility_split, make_clients
+from tests.conftest import facility_split, make_clients
 
 
 @pytest.fixture(scope="module")

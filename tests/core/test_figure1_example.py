@@ -16,7 +16,6 @@ from repro.datasets import (
     CANDIDATE_NAMES,
     EXISTING_NAMES,
     EXPECTED_ANSWER_NAME,
-    figure1_venue,
 )
 
 

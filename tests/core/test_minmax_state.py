@@ -5,8 +5,6 @@
 its state machine on hand-built event sequences.
 """
 
-import pytest
-
 from repro import Client, Point
 from repro.core.efficient import (
     _KIND_CANDIDATE,

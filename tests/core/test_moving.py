@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Client, IFLSEngine, QueryError
+from repro import IFLSEngine, QueryError
 from repro.core.bruteforce import brute_force_minmax
 from repro.core.moving import MovingClientSimulator, WALKING_SPEED
 from repro.datasets import small_office

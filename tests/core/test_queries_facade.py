@@ -4,7 +4,6 @@ import pytest
 
 from repro import (
     EfficientOptions,
-    FacilitySets,
     IFLSEngine,
     QueryError,
     ResultStatus,

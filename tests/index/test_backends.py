@@ -16,7 +16,6 @@ from repro.errors import IndexError_
 from repro.index.doortable import DoorTableIndex
 from repro.index.iptree import IPTreeDistanceIndex
 from repro.datasets import small_office, generate_building
-from tests.conftest import build_corridor_venue
 from tests.index.test_vip_property import building_specs
 
 

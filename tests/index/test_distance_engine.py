@@ -5,7 +5,7 @@ import pytest
 from repro import Client, DistanceService, Point, VIPTree
 from repro.index.distance import VIPDistanceEngine
 from repro.datasets import small_office
-from tests.conftest import build_corridor_venue, make_clients
+from tests.conftest import make_clients
 
 
 @pytest.fixture(scope="module")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Client, DistanceService, PathService, Point
+from repro import Client, DistanceService, PathService
 from repro.errors import UnreachableFacilityError
 from repro.datasets import small_office
 from tests.conftest import build_corridor_venue, make_clients

@@ -1,7 +1,5 @@
 """Unit tests for geometry primitives."""
 
-import math
-
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

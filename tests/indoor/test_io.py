@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro import DistanceService, FacilitySets, VenueError
-from repro.datasets import figure1_venue, small_office
+from repro.datasets import small_office
 from repro.indoor.io import (
     load_venue,
     load_workload,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datasets import figure1_venue, small_office
+from repro.datasets import small_office
 from repro.indoor.render import (
     ANSWER_MARK,
     CANDIDATE_MARK,

@@ -3,7 +3,6 @@ against the query pipeline on randomly generated venues."""
 
 import pytest
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
 from repro import IFLSEngine, PathService
 from repro.indoor.io import venue_from_dict, venue_to_dict

@@ -100,6 +100,31 @@ class TestCommands:
         # Per-query table is printed when --session-stats is given.
         assert "objective" in out and "computed" in out
 
+    def test_query_batch_parallel_workers(self, capsys):
+        assert main([
+            "query", "CPH", "--clients", "25", "--batch", "4",
+            "--workers", "2", "--session-stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 workers" in out
+        assert "4 queries answered" in out
+        # Per-query rows keep submission order under sharding.
+        assert out.index("seed=0") < out.index("seed=3")
+
+    def test_query_workers_alone_triggers_batch_mode(self, capsys):
+        assert main([
+            "query", "CPH", "--clients", "20", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch:" in out
+
+    def test_query_rejects_bad_worker_count(self, capsys):
+        assert main([
+            "query", "CPH", "--clients", "20", "--batch", "2",
+            "--workers", "0",
+        ]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().out
+
     def test_query_batch_ignores_non_efficient_algorithm(self, capsys):
         assert main([
             "query", "CPH", "--clients", "20", "--batch", "2",

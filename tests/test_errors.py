@@ -9,7 +9,11 @@ from repro import (
     UnreachableFacilityError,
     VenueError,
 )
-from repro.errors import EmptyCandidateSetError, IndexError_, UnknownEntityError
+from repro.errors import (
+    EmptyCandidateSetError,
+    IndexError_,
+    UnknownEntityError,
+)
 
 
 def test_all_errors_derive_from_repro_error():

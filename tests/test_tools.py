@@ -1,7 +1,5 @@
 """Smoke tests for the repository tools."""
 
-import subprocess
-import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parents[1]

@@ -17,7 +17,10 @@ asserts the structural invariants of :class:`QueryStats` /
 * ``single_door_shortcuts <= idist_calls``;
 * ``clients_pruned <= clients_total``; no counter is negative;
 * a non-memoising engine reports zero cache hits;
-* session totals equal the sum of the per-query deltas.
+* session totals equal the sum of the per-query deltas;
+* a sharded parallel run returns the serial answers, and its merged
+  per-worker totals both satisfy the ledger identities and equal the
+  sum of the merged per-query records.
 
 Exit code 0 when clean, 1 with one line per violation — cheap enough
 to run in tier-1 tests (see ``tests/test_tools.py``), so any future
@@ -173,6 +176,47 @@ def run_checks() -> List[str]:
                 f"{label}: {report.cache_entries} cache entries exceed "
                 f"budget {budget}"
             )
+
+    # Parallel executor: sharded answers and merged counters.
+    from repro.core.parallel import run_batch_parallel
+    from repro.core.stats import (
+        distance_invariant_violations,
+        merge_snapshots,
+    )
+
+    batch = []
+    for i in range(5):
+        batch_rng = random.Random(0xFA + i)
+        batch.append(
+            BatchQuery(
+                uniform_clients(venue, 30, batch_rng),
+                random_facility_sets(venue, 3, 6, batch_rng),
+            )
+        )
+    serial = run_batch_parallel(engine, batch, 1)
+    sharded = run_batch_parallel(engine, batch, 2)
+    if sharded.answers != serial.answers:
+        violations.append(
+            "parallel: sharded answers differ from serial "
+            f"({sharded.answers} != {serial.answers})"
+        )
+    for message in distance_invariant_violations(sharded.report.totals):
+        violations.append(f"parallel/merged: {message}")
+    summed = merge_snapshots(
+        record.distance_delta for record in sharded.report.records
+    )
+    if summed != sharded.report.totals:
+        violations.append(
+            "parallel: merged per-query deltas do not sum to merged "
+            f"totals ({summed} != {sharded.report.totals})"
+        )
+    merged_query = sharded.query_stats
+    if merged_query.queue_pops > merged_query.queue_pushes:
+        violations.append(
+            "parallel: merged queue_pops "
+            f"{merged_query.queue_pops} > queue_pushes "
+            f"{merged_query.queue_pushes}"
+        )
     return violations
 
 
