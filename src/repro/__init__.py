@@ -12,10 +12,15 @@ Quickstart::
     from repro import IFLSEngine, FacilitySets
     from repro.datasets import figure1_venue
 
-    venue, existing, candidates, clients = figure1_venue()
+    venue, existing, candidates, clients, names = figure1_venue()
     engine = IFLSEngine(venue)
     result = engine.query(clients, FacilitySets(existing, candidates))
     print(result.answer, result.objective)
+
+Observability: wrap any of the above in :func:`repro.obs.observe` to
+collect a span trace and a metrics snapshot (zero overhead when not
+used) — see ``docs/OBSERVABILITY.md`` for the instrumentation
+contract.
 """
 
 from .core import (
@@ -73,8 +78,9 @@ from .index import (
     VIPDistanceEngine,
     VIPTree,
 )
+from .obs import MetricsRegistry, Tracer, observe
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BASELINE",
@@ -103,6 +109,9 @@ __all__ = [
     "MAXSUM",
     "MINDIST",
     "MINMAX",
+    "MetricsRegistry",
+    "Tracer",
+    "observe",
     "PathService",
     "Partition",
     "RankedCandidate",

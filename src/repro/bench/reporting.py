@@ -6,6 +6,12 @@ and writes machine-readable CSV and JSON next to the text output.  The
 JSON form carries run metadata (experiment, scale, schema version) so
 CI can archive one self-describing artifact per experiment and a perf
 trajectory accumulates across builds.
+
+Observability snapshots reuse the same CSV conventions:
+:func:`write_metrics_csv` / :func:`read_metrics_csv` (re-exported from
+:mod:`repro.obs.exporters`) persist a metrics-registry snapshot — one
+row per instrument — so a bench run can archive its ``query.*`` /
+``cache.*`` / ``parallel.*`` metrics next to the experiment CSVs.
 """
 
 from __future__ import annotations
@@ -16,6 +22,11 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs.exporters import (  # noqa: F401  (re-exported)
+    METRICS_CSV_COLUMNS,
+    read_metrics_csv,
+    write_metrics_csv,
+)
 from .experiments import Row
 
 

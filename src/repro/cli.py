@@ -53,6 +53,23 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.trace is None and args.metrics is None:
+        return _cmd_query_inner(args)
+    from .obs import observe
+    from .obs.exporters import write_metrics_csv, write_trace_jsonl
+
+    with observe() as (tracer, registry):
+        code = _cmd_query_inner(args)
+    if args.trace is not None:
+        spans = write_trace_jsonl(tracer, Path(args.trace))
+        print(f"trace:      {spans} spans -> {args.trace}")
+    if args.metrics is not None:
+        rows = write_metrics_csv(registry, Path(args.metrics))
+        print(f"metrics:    {rows} instruments -> {args.metrics}")
+    return code
+
+
+def _cmd_query_inner(args: argparse.Namespace) -> int:
     venue = venue_by_name(args.venue)
     fe = args.existing if args.existing else default_fe(args.venue.upper())
     fn = args.candidates if args.candidates else default_fn(
@@ -346,6 +363,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--cache-budget", type=int, default=None,
                        help="max memoised distance entries "
                             "(oldest evicted first; default unbounded)")
+    query.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a JSON-lines span trace of the run "
+                            "(see docs/OBSERVABILITY.md)")
+    query.add_argument("--metrics", metavar="PATH", default=None,
+                       help="write a metrics CSV snapshot of the run "
+                            "(see docs/OBSERVABILITY.md)")
     query.set_defaults(fn=_cmd_query)
 
     render = sub.add_parser("render", help="ASCII floor plan")

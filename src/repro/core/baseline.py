@@ -36,9 +36,10 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import UnreachableFacilityError
 from ..indoor.entities import Client, PartitionId
 from ..index.search import FacilitySearch
+from ..obs import trace as _trace
 from .problem import IFLSProblem
 from .result import IFLSResult, ResultStatus
-from .stats import QueryStats
+from .stats import QueryStats, publish_query_metrics
 
 INFINITY = float("inf")
 
@@ -54,13 +55,19 @@ def modified_minmax(
     if measure_memory:
         tracemalloc.start()
     try:
-        result = _run(problem, stats)
+        with _trace.span(
+            "query.baseline.minmax",
+            stats=problem.engine.stats,
+            clients=len(problem.clients),
+        ):
+            result = _run(problem, stats)
     finally:
         if measure_memory:
             _, peak = tracemalloc.get_traced_memory()
             stats.peak_memory_bytes = peak
             tracemalloc.stop()
     stats.elapsed_seconds = time.perf_counter() - started
+    publish_query_metrics(result)
     return result
 
 
@@ -69,7 +76,8 @@ def _run(problem: IFLSProblem, stats: QueryStats) -> IFLSResult:
     before = engine.stats.snapshot()
 
     # Step 1: nearest existing facility for every client, sorted desc.
-    sorted_clients = _nearest_existing(problem, stats)
+    with _trace.span("baseline.nearest_existing", stats=engine.stats):
+        sorted_clients = _nearest_existing(problem, stats)
     first_dist = sorted_clients[0][0]
     if math.isinf(first_dist) and not problem.existing:
         # No existing facilities at all: every client's distance is inf,
@@ -81,58 +89,63 @@ def _run(problem: IFLSProblem, stats: QueryStats) -> IFLSResult:
             "a client cannot reach any existing facility"
         )
 
-    # Step 2: initial candidate answer set from the worst client.
-    candidate_search = FacilitySearch(engine, problem.candidates)
-    worst_client = sorted_clients[0][1]
-    maxd: Dict[PartitionId, float] = dict(
-        (pid, dist)
-        for pid, dist in candidate_search.within(
-            worst_client, first_dist, strict=True
+    with _trace.span("baseline.refine", stats=engine.stats):
+        # Step 2: initial candidate answer set from the worst client.
+        candidate_search = FacilitySearch(engine, problem.candidates)
+        worst_client = sorted_clients[0][1]
+        maxd: Dict[PartitionId, float] = dict(
+            (pid, dist)
+            for pid, dist in candidate_search.within(
+                worst_client, first_dist, strict=True
+            )
         )
-    )
-    stats.facilities_retrieved += len(maxd)
-    considered = 1
+        stats.facilities_retrieved += len(maxd)
+        considered = 1
 
-    if not maxd:
-        # No candidate improves the worst client: no improvement at all.
-        _merge_engine_stats(engine, before, stats)
-        return IFLSResult(
-            answer=None,
-            objective=_exact_objective(problem, sorted_clients, None, 0),
-            status=ResultStatus.NO_IMPROVEMENT,
-            stats=stats,
-        )
-
-    # Step 3: refinement, one client at a time in descending order.
-    previous: Dict[PartitionId, float] = dict(maxd)
-    while considered < len(sorted_clients) and len(maxd) > 1:
-        previous = dict(maxd)
-        threshold, client = sorted_clients[considered]
-        considered += 1
-        stats.iterations += 1
-        refined: Dict[PartitionId, float] = {}
-        for candidate, worst in maxd.items():
-            d = engine.idist(client, candidate)
-            if d >= threshold:  # pruning 3a
-                continue
-            new_worst = worst if worst >= d else d
-            if new_worst > threshold:  # pruning 3b
-                continue
-            refined[candidate] = new_worst
-        maxd = refined
         if not maxd:
-            considered -= 1  # the emptying client is not "considered"
-            break
+            # No candidate improves the worst client: no improvement.
+            _merge_engine_stats(engine, before, stats)
+            return IFLSResult(
+                answer=None,
+                objective=_exact_objective(
+                    problem, sorted_clients, None, 0
+                ),
+                status=ResultStatus.NO_IMPROVEMENT,
+                stats=stats,
+            )
+
+        # Step 3: refinement, one client at a time, descending order.
+        previous: Dict[PartitionId, float] = dict(maxd)
+        while considered < len(sorted_clients) and len(maxd) > 1:
+            previous = dict(maxd)
+            threshold, client = sorted_clients[considered]
+            considered += 1
+            stats.iterations += 1
+            refined: Dict[PartitionId, float] = {}
+            for candidate, worst in maxd.items():
+                d = engine.idist(client, candidate)
+                if d >= threshold:  # pruning 3a
+                    continue
+                new_worst = worst if worst >= d else d
+                if new_worst > threshold:  # pruning 3b
+                    continue
+                refined[candidate] = new_worst
+            maxd = refined
+            if not maxd:
+                considered -= 1  # emptying client is not "considered"
+                break
 
     # Step 5: Find_Ans.
-    pool = maxd if maxd else previous
-    stats.candidate_answers_considered = len(pool)
-    answer = min(pool, key=lambda pid: (pool[pid], pid))
-    objective = _exact_objective(
-        problem, sorted_clients, answer, considered, known=pool[answer]
-    )
-    _merge_engine_stats(engine, before, stats)
-    no_new = _exact_objective(problem, sorted_clients, None, 0)
+    with _trace.span("baseline.finalize", stats=engine.stats):
+        pool = maxd if maxd else previous
+        stats.candidate_answers_considered = len(pool)
+        answer = min(pool, key=lambda pid: (pool[pid], pid))
+        objective = _exact_objective(
+            problem, sorted_clients, answer, considered,
+            known=pool[answer],
+        )
+        _merge_engine_stats(engine, before, stats)
+        no_new = _exact_objective(problem, sorted_clients, None, 0)
     if objective >= no_new:
         return IFLSResult(
             answer=None,

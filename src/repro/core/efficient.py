@@ -38,9 +38,10 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from ..errors import QueryError, UnreachableFacilityError
 from ..indoor.entities import Client, PartitionId
 from ..index.distance import VIPDistanceEngine
+from ..obs import trace as _trace
 from .problem import IFLSProblem
 from .result import IFLSResult, ResultStatus
-from .stats import QueryStats
+from .stats import QueryStats, publish_query_metrics
 
 INFINITY = float("inf")
 
@@ -358,13 +359,19 @@ def efficient_minmax(
     if options.measure_memory:
         tracemalloc.start()
     try:
-        result = _run(problem, options, stats)
+        with _trace.span(
+            "query.efficient.minmax",
+            stats=problem.engine.stats,
+            clients=len(problem.clients),
+        ):
+            result = _run(problem, options, stats)
     finally:
         if options.measure_memory:
             _, peak = tracemalloc.get_traced_memory()
             stats.peak_memory_bytes = peak
             tracemalloc.stop()
     stats.elapsed_seconds = time.perf_counter() - started
+    publish_query_metrics(result)
     return result
 
 
@@ -426,39 +433,41 @@ def _run(
     # ------------------------------------------------------------------
     # Algorithm 2 pre-phase: clients located inside a facility partition.
     # ------------------------------------------------------------------
-    for client in problem.clients:
-        pid = client.partition_id
-        if pid in problem.existing or pid in problem.candidates:
-            state.record(client, pid, 0.0, pid in problem.existing)
-            stats.facilities_retrieved += 1
+    with _trace.span("ea.prephase", stats=engine.stats):
+        for client in problem.clients:
+            pid = client.partition_id
+            if pid in problem.existing or pid in problem.candidates:
+                state.record(client, pid, 0.0, pid in problem.existing)
+                stats.facilities_retrieved += 1
 
-    is_first = state.update_first(0.0)
-    outcome = _drain(state, 0.0, is_first, remove_from_group)
+        is_first = state.update_first(0.0)
+        outcome = _drain(state, 0.0, is_first, remove_from_group)
     if outcome is not None:
         return finish(*outcome)
 
     # ------------------------------------------------------------------
     # Algorithm 3 main loop.
     # ------------------------------------------------------------------
-    while True:
-        step = stream.advance()
-        if step is None:
-            break
-        gd, records = step
-        for client, facility, dist, is_existing in records:
-            state.record(client, facility, dist, is_existing)
-        if not is_first:
-            is_first = state.update_first(gd)
-        outcome = _drain(state, gd, is_first, remove_from_group)
+    with _trace.span("ea.stream", stats=engine.stats):
+        while True:
+            step = stream.advance()
+            if step is None:
+                break
+            gd, records = step
+            for client, facility, dist, is_existing in records:
+                state.record(client, facility, dist, is_existing)
+            if not is_first:
+                is_first = state.update_first(gd)
+            outcome = _drain(state, gd, is_first, remove_from_group)
+            if outcome is not None:
+                return finish(*outcome)
+
+        # Queue exhausted: everything retrieved; finish refinement.
+        outcome = _drain(state, INFINITY, True, remove_from_group)
         if outcome is not None:
             return finish(*outcome)
-
-    # Queue exhausted: everything retrieved; finish the refinement.
-    outcome = _drain(state, INFINITY, True, remove_from_group)
-    if outcome is not None:
-        return finish(*outcome)
-    if state.kept_count == 0:
-        return finish(None, state.max_pruned_de)
+        if state.kept_count == 0:
+            return finish(None, state.max_pruned_de)
     raise UnreachableFacilityError(
         "some clients cannot reach any candidate facility"
     )

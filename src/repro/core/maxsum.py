@@ -27,6 +27,7 @@ import tracemalloc
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..indoor.entities import PartitionId
+from ..obs import trace as _trace
 from .efficient import (
     EfficientOptions,
     FacilityStream,
@@ -35,7 +36,7 @@ from .efficient import (
 )
 from .problem import IFLSProblem
 from .result import IFLSResult, ResultStatus
-from .stats import QueryStats
+from .stats import QueryStats, publish_query_metrics
 
 
 class _MaxSumState:
@@ -164,7 +165,12 @@ def efficient_maxsum(
     if options.measure_memory:
         tracemalloc.start()
     try:
-        result = _run(problem, options, stats)
+        with _trace.span(
+            "query.efficient.maxsum",
+            stats=problem.engine.stats,
+            clients=len(problem.clients),
+        ):
+            result = _run(problem, options, stats)
     finally:
         if options.measure_memory:
             _, peak = tracemalloc.get_traced_memory()
@@ -172,6 +178,7 @@ def efficient_maxsum(
             tracemalloc.stop()
     _merge_engine_stats(problem.engine, before, stats)
     stats.elapsed_seconds = time.perf_counter() - started
+    publish_query_metrics(result)
     return result
 
 
@@ -205,36 +212,40 @@ def _run(
                     group.prune(client_id)
         settled.clear()
 
-    for client in problem.clients:
-        pid = client.partition_id
-        if pid in problem.existing or pid in problem.candidates:
-            state.record(
-                client.client_id, pid, 0.0, pid in problem.existing
-            )
-            stats.facilities_retrieved += 1
-    state.advance(0.0)
-    settle_prune()
-    answer = state.check_answer()
-
-    while answer is None:
-        step = stream.advance()
-        if step is None:
-            break
-        gd, records = step
-        for client, facility, dist, is_existing in records:
-            state.record(client.client_id, facility, dist, is_existing)
-        state.advance(gd)
+    with _trace.span("ea.prephase", stats=problem.engine.stats):
+        for client in problem.clients:
+            pid = client.partition_id
+            if pid in problem.existing or pid in problem.candidates:
+                state.record(
+                    client.client_id, pid, 0.0, pid in problem.existing
+                )
+                stats.facilities_retrieved += 1
+        state.advance(0.0)
         settle_prune()
         answer = state.check_answer()
 
-    if answer is None:
-        # Queue exhausted: every surviving pair is now decidable.
-        state.advance(float("inf"))
-        # Remaining unsettled clients have de = inf beyond retrieval:
-        # any recorded candidate strictly wins them.
-        for client_id in list(state.unsettled):
-            state._settle(client_id, float("inf"))
-        answer = state.check_answer()
+    with _trace.span("ea.stream", stats=problem.engine.stats):
+        while answer is None:
+            step = stream.advance()
+            if step is None:
+                break
+            gd, records = step
+            for client, facility, dist, is_existing in records:
+                state.record(
+                    client.client_id, facility, dist, is_existing
+                )
+            state.advance(gd)
+            settle_prune()
+            answer = state.check_answer()
+
+        if answer is None:
+            # Queue exhausted: every surviving pair is now decidable.
+            state.advance(float("inf"))
+            # Remaining unsettled clients have de = inf beyond
+            # retrieval: any recorded candidate strictly wins them.
+            for client_id in list(state.unsettled):
+                state._settle(client_id, float("inf"))
+            answer = state.check_answer()
     stats.clients_pruned = len(state.settled_de)
     stats.candidate_answers_considered = len(state.candidates)
     if answer is None:

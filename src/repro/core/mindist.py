@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import UnreachableFacilityError
 from ..indoor.entities import PartitionId
+from ..obs import trace as _trace
 from .efficient import (
     EfficientOptions,
     FacilityStream,
@@ -40,7 +41,7 @@ from .efficient import (
 )
 from .problem import IFLSProblem
 from .result import IFLSResult, ResultStatus
-from .stats import QueryStats
+from .stats import QueryStats, publish_query_metrics
 
 INFINITY = float("inf")
 
@@ -196,7 +197,12 @@ def efficient_mindist(
     if options.measure_memory:
         tracemalloc.start()
     try:
-        result = _run(problem, options, stats)
+        with _trace.span(
+            "query.efficient.mindist",
+            stats=problem.engine.stats,
+            clients=len(problem.clients),
+        ):
+            result = _run(problem, options, stats)
     finally:
         if options.measure_memory:
             _, peak = tracemalloc.get_traced_memory()
@@ -204,6 +210,7 @@ def efficient_mindist(
             tracemalloc.stop()
     _merge_engine_stats(problem.engine, before, stats)
     stats.elapsed_seconds = time.perf_counter() - started
+    publish_query_metrics(result)
     return result
 
 
@@ -237,33 +244,37 @@ def _run(
         settled.clear()
 
     # Pre-phase: clients inside facility partitions.
-    for client in problem.clients:
-        pid = client.partition_id
-        if pid in problem.existing or pid in problem.candidates:
-            state.record(
-                client.client_id, pid, 0.0, pid in problem.existing
-            )
-            stats.facilities_retrieved += 1
-    state.advance(0.0)
-    settle_prune()
-    answer = state.check_answer(0.0)
-
-    gd = 0.0
-    while answer is None:
-        step = stream.advance()
-        if step is None:
-            break
-        gd, records = step
-        for client, facility, dist, is_existing in records:
-            state.record(client.client_id, facility, dist, is_existing)
-        state.advance(gd)
+    with _trace.span("ea.prephase", stats=problem.engine.stats):
+        for client in problem.clients:
+            pid = client.partition_id
+            if pid in problem.existing or pid in problem.candidates:
+                state.record(
+                    client.client_id, pid, 0.0, pid in problem.existing
+                )
+                stats.facilities_retrieved += 1
+        state.advance(0.0)
         settle_prune()
-        answer = state.check_answer(gd)
+        answer = state.check_answer(0.0)
 
-    if answer is None:
-        # Queue exhausted: everything retrieved; all terms become exact.
-        state.advance(INFINITY)
-        answer = state.check_answer(INFINITY)
+    with _trace.span("ea.stream", stats=problem.engine.stats):
+        gd = 0.0
+        while answer is None:
+            step = stream.advance()
+            if step is None:
+                break
+            gd, records = step
+            for client, facility, dist, is_existing in records:
+                state.record(
+                    client.client_id, facility, dist, is_existing
+                )
+            state.advance(gd)
+            settle_prune()
+            answer = state.check_answer(gd)
+
+        if answer is None:
+            # Queue exhausted: all retrieved; every term becomes exact.
+            state.advance(INFINITY)
+            answer = state.check_answer(INFINITY)
     stats.clients_pruned = len(state.settled_de)
     stats.candidate_answers_considered = len(state.alive)
     if answer is None:

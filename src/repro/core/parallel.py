@@ -57,12 +57,17 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ParallelExecutionError
 from ..indoor.venue import IndoorVenue
 from ..index.viptree import VIPTree
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import SpanRecord, Tracer
 from .queries import IFLSEngine
 from .result import IFLSResult
 from .session import (
@@ -137,6 +142,12 @@ class ShardOutcome:
     whole memo table, tagged with ``worker_pid`` so the merge counts
     each process once (its largest observation) instead of once per
     shard.
+
+    When the parent had observability enabled, ``trace_records`` holds
+    the worker's finished spans (absorbed into the parent tracer on
+    reassembly, tagged with the worker pid) and ``metrics_snapshot``
+    the worker registry's image (folded into the parent registry with
+    the documented merge semantics).
     """
 
     indices: List[int]
@@ -147,6 +158,8 @@ class ShardOutcome:
     cache_bytes: int
     worker_pid: int
     records: List[SessionQueryRecord] = field(default_factory=list)
+    trace_records: List[SpanRecord] = field(default_factory=list)
+    metrics_snapshot: Optional[Dict] = None
 
 
 @dataclass
@@ -189,6 +202,11 @@ def _init_fork_worker(
 ) -> None:
     """Worker initializer under ``fork``: wrap the inherited engine."""
     global _WORKER_SESSION
+    # The fork inherited the parent's process-global collectors; spans
+    # recorded into those copies would be lost.  Workers collect into
+    # per-shard collectors instead (see _run_shard).
+    _trace.uninstall()
+    _metrics.uninstall()
     if _FORK_ENGINE is None:  # pragma: no cover - defensive
         raise ParallelExecutionError(
             "fork worker started without an inherited engine"
@@ -215,31 +233,59 @@ def _init_spawn_worker(
 
 def _run_shard(
     shard: Sequence[Tuple[int, BatchQuery]],
+    submitted_at: Optional[float] = None,
+    observe_trace: bool = False,
+    observe_metrics: bool = False,
 ) -> ShardOutcome:
     """Answer one shard on this worker's warm session.
 
     ``shard`` carries ``(submission_index, query)`` pairs; record
     indices are rewritten to the 1-based submission position so the
-    merged report reads like one serial session.
+    merged report reads like one serial session.  When the parent had
+    collectors active it sets the ``observe_*`` flags: the shard then
+    runs under a fresh per-shard tracer/registry whose records travel
+    back in the :class:`ShardOutcome`.  ``submitted_at`` is the
+    parent's ``time.time()`` at submission — queue wait is measured on
+    the wall clock because monotonic clocks do not compare across
+    processes (documented approximate).
     """
     session = _WORKER_SESSION
     if session is None:  # pragma: no cover - defensive
         raise ParallelExecutionError("worker session was not initialised")
+    tracer = Tracer() if observe_trace else None
+    registry = MetricsRegistry() if observe_metrics else None
     before = session.distances.stats.snapshot()
     records_start = len(session.records)
     results: List[IFLSResult] = []
     indices: List[int] = []
-    for index, query in shard:
-        results.append(
-            session.query(
-                query.clients,
-                query.facilities,
-                objective=query.objective,
-                options=query.options,
-                label=query.label or f"q{index + 1}",
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(_trace.use(tracer))
+        if registry is not None:
+            stack.enter_context(_metrics.use(registry))
+        if submitted_at is not None:
+            _metrics.record(
+                "parallel.shard.queue_wait_seconds",
+                max(0.0, time.time() - submitted_at),
             )
+        _metrics.add("parallel.shards")
+        shard_started = time.perf_counter()
+        with _trace.span("parallel.shard", queries=len(shard)):
+            for index, query in shard:
+                results.append(
+                    session.query(
+                        query.clients,
+                        query.facilities,
+                        objective=query.objective,
+                        options=query.options,
+                        label=query.label or f"q{index + 1}",
+                    )
+                )
+                indices.append(index)
+        _metrics.record(
+            "parallel.shard.seconds",
+            time.perf_counter() - shard_started,
         )
-        indices.append(index)
     after = session.distances.stats.snapshot()
     totals = {
         key: value - before.get(key, 0) for key, value in after.items()
@@ -256,6 +302,12 @@ def _run_shard(
         cache_bytes=session.distances.cache_bytes(),
         worker_pid=os.getpid(),
         records=records,
+        trace_records=(
+            tracer.sorted_records() if tracer is not None else []
+        ),
+        metrics_snapshot=(
+            registry.snapshot() if registry is not None else None
+        ),
     )
 
 
@@ -416,63 +468,107 @@ def run_batch_parallel(
     if workers == 1:
         return _run_serial(engine, batch, max_cache_entries, keep_records)
 
-    shards = shard_batch(batch, workers)
-    if method == FORK:
-        context = multiprocessing.get_context(FORK)
-        initializer = _init_fork_worker
-        initargs: tuple = (max_cache_entries, keep_records)
-        _FORK_ENGINE = engine
-    else:
-        context = multiprocessing.get_context(SPAWN)
-        initializer = _init_spawn_worker
-        initargs = (
-            IndexSnapshot.from_engine(engine).to_bytes(),
-            max_cache_entries,
-            keep_records,
-        )
-    started = time.perf_counter()
-    outcomes: List[ShardOutcome] = []
-    try:
-        with ProcessPoolExecutor(
-            max_workers=len(shards),
-            mp_context=context,
-            initializer=initializer,
-            initargs=initargs,
-        ) as pool:
-            futures = [
-                (number, pool.submit(_run_shard, shard))
-                for number, shard in enumerate(shards)
-            ]
-            for number, future in futures:
-                try:
-                    outcomes.append(future.result())
-                except ParallelExecutionError:
-                    raise
-                except Exception as exc:
-                    raise ParallelExecutionError(
-                        f"shard {number + 1}/{len(shards)} "
-                        f"({len(shards[number])} queries, "
-                        f"start method {method!r}) failed: {exc}"
-                    ) from exc
-    finally:
-        if method == FORK:
-            _FORK_ENGINE = None
-    elapsed = time.perf_counter() - started
+    observe_trace = _trace.active() is not None
+    observe_metrics = _metrics.active() is not None
+    with _trace.span(
+        "parallel.run", queries=len(batch), start_method=method
+    ) as run_span:
+        with _trace.span("parallel.prepare"):
+            shards = shard_batch(batch, workers)
+            if method == FORK:
+                context = multiprocessing.get_context(FORK)
+                initializer = _init_fork_worker
+                initargs: tuple = (max_cache_entries, keep_records)
+                _FORK_ENGINE = engine
+            else:
+                context = multiprocessing.get_context(SPAWN)
+                initializer = _init_spawn_worker
+                initargs = (
+                    IndexSnapshot.from_engine(engine).to_bytes(),
+                    max_cache_entries,
+                    keep_records,
+                )
+        started = time.perf_counter()
+        outcomes: List[ShardOutcome] = []
+        try:
+            with ProcessPoolExecutor(
+                max_workers=len(shards),
+                mp_context=context,
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
+                futures = [
+                    (
+                        number,
+                        pool.submit(
+                            _run_shard,
+                            shard,
+                            time.time(),
+                            observe_trace,
+                            observe_metrics,
+                        ),
+                    )
+                    for number, shard in enumerate(shards)
+                ]
+                for number, future in futures:
+                    try:
+                        outcomes.append(future.result())
+                    except ParallelExecutionError:
+                        raise
+                    except Exception as exc:
+                        raise ParallelExecutionError(
+                            f"shard {number + 1}/{len(shards)} "
+                            f"({len(shards[number])} queries, "
+                            f"start method {method!r}) failed: {exc}"
+                        ) from exc
+        finally:
+            if method == FORK:
+                _FORK_ENGINE = None
+        elapsed = time.perf_counter() - started
 
-    by_index: Dict[int, IFLSResult] = {}
-    for outcome in outcomes:
-        for index, result in zip(outcome.indices, outcome.results):
-            by_index[index] = result
-    missing = [i for i in range(len(batch)) if i not in by_index]
-    if missing:  # pragma: no cover - defensive
-        raise ParallelExecutionError(
-            f"workers returned no result for queries {missing}"
+        # Fold the workers' observability payloads into the parent's
+        # collectors: spans nest under the open parallel.run span
+        # (tagged with the worker pid), metric snapshots merge with the
+        # documented counter/gauge/histogram semantics.
+        tracer = _trace.active()
+        registry = _metrics.active()
+        for outcome in outcomes:
+            if tracer is not None and outcome.trace_records:
+                tracer.absorb(outcome.trace_records)
+            if registry is not None and outcome.metrics_snapshot:
+                registry.merge_snapshot(outcome.metrics_snapshot)
+
+        merge_started = time.perf_counter()
+        with _trace.span("parallel.merge"):
+            by_index: Dict[int, IFLSResult] = {}
+            for outcome in outcomes:
+                for index, result in zip(
+                    outcome.indices, outcome.results
+                ):
+                    by_index[index] = result
+            missing = [
+                i for i in range(len(batch)) if i not in by_index
+            ]
+            if missing:  # pragma: no cover - defensive
+                raise ParallelExecutionError(
+                    f"workers returned no result for queries {missing}"
+                )
+            results = [by_index[i] for i in range(len(batch))]
+            report = _merged_report(
+                outcomes, len(batch), max_cache_entries
+            )
+            query_stats = merge_query_stats(r.stats for r in results)
+        _metrics.record(
+            "parallel.merge.seconds",
+            time.perf_counter() - merge_started,
         )
-    results = [by_index[i] for i in range(len(batch))]
+        run_span.set(workers=len(shards))
+    _metrics.add("parallel.batches")
+    _metrics.set_gauge("parallel.workers", len(shards))
     return ParallelBatchOutcome(
         results=results,
-        report=_merged_report(outcomes, len(batch), max_cache_entries),
-        query_stats=merge_query_stats(r.stats for r in results),
+        report=report,
+        query_stats=query_stats,
         workers=len(shards),
         start_method=method,
         elapsed_seconds=elapsed,

@@ -32,12 +32,17 @@ evicted first); ``None`` keeps every distance ever computed.
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import QueryError
 from ..indoor.entities import Client, FacilitySets, PartitionId
 from ..index.distance import VIPDistanceEngine
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from .efficient import EfficientOptions, efficient_minmax
 from .maxsum import efficient_maxsum
 from .mindist import efficient_mindist
@@ -197,6 +202,18 @@ class QuerySession:
         Collect a :class:`SessionQueryRecord` per query (per-query
         counter deltas).  Disable for very long-running sessions where
         even one record per query is too much bookkeeping.
+    trace:
+        Optional :class:`~repro.obs.trace.Tracer`.  When given, it is
+        scope-installed as the process-global tracer for the duration
+        of every :meth:`query` / :meth:`run` call, so all spans of the
+        instrumentation contract (``docs/OBSERVABILITY.md``) land in
+        it without touching the globals yourself.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`, installed
+        the same way for the ``query.*`` / ``cache.*`` / ``parallel.*``
+        metrics.  Leaving both ``None`` keeps whatever collectors are
+        (or are not) globally active — the default is fully
+        uninstrumented execution.
     """
 
     def __init__(
@@ -204,6 +221,8 @@ class QuerySession:
         engine: IFLSEngine,
         max_cache_entries: Optional[int] = None,
         keep_records: bool = True,
+        trace: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.engine = engine
         self.tree = engine.tree
@@ -213,6 +232,21 @@ class QuerySession:
         self.keep_records = keep_records
         self.records: List[SessionQueryRecord] = []
         self.queries_answered = 0
+        self.tracer = trace
+        self.metrics = metrics
+
+    @contextmanager
+    def _observing(self) -> Iterator[None]:
+        """Install this session's collectors (if any) for one call."""
+        if self.tracer is None and self.metrics is None:
+            yield
+            return
+        with ExitStack() as stack:
+            if self.tracer is not None:
+                stack.enter_context(_trace.use(self.tracer))
+            if self.metrics is not None:
+                stack.enter_context(_metrics.use(self.metrics))
+            yield
 
     # ------------------------------------------------------------------
     # Answering
@@ -232,7 +266,14 @@ class QuerySession:
         problem = IFLSProblem(self.distances, list(clients), facilities)
         before = self.distances.stats.snapshot()
         started = time.perf_counter()
-        result = solver(problem, options)
+        with self._observing():
+            with _trace.span(
+                "session.query", objective=objective, label=label
+            ):
+                result = solver(problem, options)
+            _metrics.set_gauge(
+                "cache.entries", self.distances.cache_entries()
+            )
         elapsed = time.perf_counter() - started
         self.queries_answered += 1
         if self.keep_records:
@@ -291,13 +332,14 @@ class QuerySession:
         from ..index.distance import DistanceStats
         from .parallel import run_batch_parallel
 
-        outcome = run_batch_parallel(
-            self.engine,
-            batch,
-            workers,
-            max_cache_entries=self.distances.max_cache_entries,
-            keep_records=self.keep_records,
-        )
+        with self._observing():
+            outcome = run_batch_parallel(
+                self.engine,
+                batch,
+                workers,
+                max_cache_entries=self.distances.max_cache_entries,
+                keep_records=self.keep_records,
+            )
         base = self.queries_answered
         for record in outcome.report.records:
             record.index += base

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping
 
 from ..index.distance import DistanceStats
+from ..obs import metrics as _metrics
 
 
 @dataclass
@@ -133,6 +134,32 @@ def merge_snapshots(
                 continue
             totals[key] = totals.get(key, 0) + value
     return totals
+
+
+def publish_query_metrics(result) -> None:
+    """Report one answered query to the active metrics registry.
+
+    Called by every solver wrapper after the query is decided; a no-op
+    while metrics are disabled.  Feeds the ``query.*`` names of the
+    instrumentation contract (``docs/OBSERVABILITY.md``): the outcome
+    counters, the latency histogram, and the per-query client/pruning/
+    distance-work distributions.
+    """
+    if _metrics.active() is None:
+        return
+    stats = result.stats
+    _metrics.add("query.count")
+    if result.answer is None:
+        _metrics.add("query.no_improvement")
+    else:
+        _metrics.add("query.improved")
+    _metrics.record("query.seconds", stats.elapsed_seconds)
+    _metrics.record("query.clients", stats.clients_total)
+    _metrics.record("query.pruned_clients", stats.clients_pruned)
+    _metrics.record(
+        "query.distance_computations",
+        stats.distance.distance_computations,
+    )
 
 
 def distance_invariant_violations(

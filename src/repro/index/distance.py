@@ -39,6 +39,7 @@ from typing import Dict, Optional, Tuple
 
 from ..indoor.entities import Client, PartitionId
 from ..indoor.venue import IndoorVenue
+from ..obs import metrics as _metrics
 from .node import VIPNode
 from .viptree import VIPTree
 
@@ -193,13 +194,17 @@ class VIPDistanceEngine:
         budget = self.max_cache_entries
         if budget is None:
             return
+        evicted = 0
         while self.cache_entries() > budget:
             victim = max(
                 (self._imind_pp, self._imind_node, self._d2d_cache),
                 key=len,
             )
             victim.pop(next(iter(victim)))
-            self.stats.cache_evictions += 1
+            evicted += 1
+        if evicted:
+            self.stats.cache_evictions += evicted
+            _metrics.add("cache.evictions", evicted)
 
     # ------------------------------------------------------------------
     # Internals

@@ -19,12 +19,15 @@ matches the query-time behaviour of the original index.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import IndexError_
 from ..indoor.doorgraph import DoorGraph
 from ..indoor.entities import DoorId, PartitionId
 from ..indoor.venue import IndoorVenue
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .construction import (
     DEFAULT_FANOUT,
     DEFAULT_LEAF_CAPACITY,
@@ -57,21 +60,37 @@ class VIPTree:
     ) -> None:
         self.venue = venue
         self.graph = graph if graph is not None else DoorGraph(venue)
-        self.nodes, self._leaf_of = build_nodes(
-            venue, leaf_capacity=leaf_capacity, fanout=fanout
+        build_started = time.perf_counter()
+        with _trace.span(
+            "index.build", partitions=venue.partition_count
+        ) as build_span:
+            with _trace.span("index.build.nodes"):
+                self.nodes, self._leaf_of = build_nodes(
+                    venue, leaf_capacity=leaf_capacity, fanout=fanout
+                )
+            roots = [
+                n.node_id for n in self.nodes if n.parent_id is None
+            ]
+            if len(roots) != 1:
+                raise IndexError_(
+                    f"expected a single root, found {len(roots)}"
+                )
+            self.root_id: NodeId = roots[0]
+            self._leaf_index: Dict[NodeId, int] = {}
+            for node in self.nodes:
+                if node.is_leaf:
+                    self._leaf_index[node.node_id] = node.leaf_lo
+            self.rows: Dict[DoorId, Dict[DoorId, float]] = {}
+            self.local: Dict[
+                NodeId, Dict[Tuple[DoorId, DoorId], float]
+            ] = {}
+            self._door_leaf: Dict[DoorId, List[NodeId]] = {}
+            with _trace.span("index.build.matrices"):
+                self._build_matrices()
+            build_span.set(nodes=len(self.nodes))
+        _metrics.record(
+            "index.build.seconds", time.perf_counter() - build_started
         )
-        roots = [n.node_id for n in self.nodes if n.parent_id is None]
-        if len(roots) != 1:
-            raise IndexError_(f"expected a single root, found {len(roots)}")
-        self.root_id: NodeId = roots[0]
-        self._leaf_index: Dict[NodeId, int] = {}
-        for node in self.nodes:
-            if node.is_leaf:
-                self._leaf_index[node.node_id] = node.leaf_lo
-        self.rows: Dict[DoorId, Dict[DoorId, float]] = {}
-        self.local: Dict[NodeId, Dict[Tuple[DoorId, DoorId], float]] = {}
-        self._door_leaf: Dict[DoorId, List[NodeId]] = {}
-        self._build_matrices()
 
     # ------------------------------------------------------------------
     # Construction

@@ -1,0 +1,64 @@
+"""repro.obs — zero-dependency observability for the IFLS library.
+
+Three cooperating pieces, all stdlib-only:
+
+* :mod:`repro.obs.trace` — span-based tracing (nested wall-time
+  intervals with per-span counter deltas);
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  bounded-reservoir histograms with cross-worker merge semantics;
+* :mod:`repro.obs.exporters` — JSON-lines traces, human-readable span
+  trees, and metrics CSV snapshots.
+
+The names the library emits are a documented contract
+(:mod:`repro.obs.contract`, ``docs/OBSERVABILITY.md``).  When neither
+a tracer nor a registry is installed, every instrumentation point is a
+single module-global read — the library's performance is unchanged.
+
+Typical use::
+
+    from repro.obs import observe
+    from repro.obs.exporters import format_trace_tree
+
+    with observe() as (tracer, registry):
+        session.run(batch, workers=4)
+    print(format_trace_tree(tracer))
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from . import contract, exporters, metrics, trace
+from .metrics import MetricsRegistry
+from .trace import SpanRecord, Tracer
+
+__all__ = [
+    "contract",
+    "exporters",
+    "metrics",
+    "trace",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "observe",
+]
+
+
+@contextmanager
+def observe(
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[Tuple[Tracer, MetricsRegistry]]:
+    """Enable tracing *and* metrics for a scope.
+
+    Installs ``tracer`` and ``registry`` (fresh ones by default) as the
+    process-global collectors, yields them as a ``(tracer, registry)``
+    pair, and restores the previous collectors on exit.
+    """
+    if tracer is None:
+        tracer = Tracer()
+    if registry is None:
+        registry = MetricsRegistry()
+    with trace.use(tracer), metrics.use(registry):
+        yield tracer, registry

@@ -1,0 +1,199 @@
+"""The instrumentation contract: every span and metric the library emits.
+
+This module is the machine-readable half of ``docs/OBSERVABILITY.md``:
+the tables there are generated from — and CI-checked against — these
+dictionaries (``tools/check_docs.py --contract``), so documented names
+cannot drift from emitted names.
+
+Stability guarantee: names listed here are **stable** — they only
+change with a major version bump and a CHANGELOG entry.  New spans and
+metrics may be *added* in minor versions.  Anything a library emits
+must appear here; the observability integration tests enforce the
+subset relation on real traced runs.
+
+Units: ``seconds`` are wall time from a monotonic clock; counter-style
+units (``queries``, ``entries``, ...) are exact event counts, never
+sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["SpanSpec", "MetricSpec", "SPANS", "METRICS"]
+
+
+@dataclass(frozen=True)
+class SpanSpec:
+    """Documentation record for one span name."""
+
+    name: str
+    fires: str
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Documentation record for one metric name."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    unit: str
+    fires: str
+
+
+def _spans(*specs: SpanSpec) -> Dict[str, SpanSpec]:
+    return {spec.name: spec for spec in specs}
+
+
+def _metrics(*specs: MetricSpec) -> Dict[str, MetricSpec]:
+    return {spec.name: spec for spec in specs}
+
+
+SPANS: Dict[str, SpanSpec] = _spans(
+    SpanSpec(
+        "index.build",
+        "once per VIP-tree construction (whole build)",
+    ),
+    SpanSpec(
+        "index.build.nodes",
+        "child of index.build: node-hierarchy construction",
+    ),
+    SpanSpec(
+        "index.build.matrices",
+        "child of index.build: access-door row and leaf-matrix fill",
+    ),
+    SpanSpec(
+        "query.efficient.minmax",
+        "once per efficient MinMax query (Algorithms 2-3)",
+    ),
+    SpanSpec(
+        "query.efficient.mindist",
+        "once per efficient MinDist query (Section 7)",
+    ),
+    SpanSpec(
+        "query.efficient.maxsum",
+        "once per efficient MaxSum query (Section 7)",
+    ),
+    SpanSpec(
+        "query.baseline.minmax",
+        "once per modified-MinMax baseline query (Algorithm 1)",
+    ),
+    SpanSpec(
+        "ea.prephase",
+        "child of query.efficient.*: Algorithm 2 pre-phase (clients "
+        "located inside facility partitions)",
+    ),
+    SpanSpec(
+        "ea.stream",
+        "child of query.efficient.*: Algorithm 3 traversal loop "
+        "(index descent, facility retrieval, pruning, refinement)",
+    ),
+    SpanSpec(
+        "baseline.nearest_existing",
+        "child of query.baseline.minmax: nearest-existing NN pass and "
+        "the sorted list Ls",
+    ),
+    SpanSpec(
+        "baseline.refine",
+        "child of query.baseline.minmax: CA construction and the "
+        "client-by-client refinement (rules 3a/3b)",
+    ),
+    SpanSpec(
+        "baseline.finalize",
+        "child of query.baseline.minmax: Find_Ans and the exact "
+        "post-hoc objective",
+    ),
+    SpanSpec(
+        "session.query",
+        "once per QuerySession.query (wraps the solver span)",
+    ),
+    SpanSpec(
+        "parallel.run",
+        "once per run_batch_parallel call with workers > 1",
+    ),
+    SpanSpec(
+        "parallel.prepare",
+        "child of parallel.run: sharding plus index snapshot/fork "
+        "setup, before the pool starts",
+    ),
+    SpanSpec(
+        "parallel.shard",
+        "in each worker, once per executed shard (its records are "
+        "absorbed into the parent trace tagged with the worker pid)",
+    ),
+    SpanSpec(
+        "parallel.merge",
+        "child of parallel.run: result reassembly and counter/metric "
+        "merging after all shards returned",
+    ),
+)
+
+
+METRICS: Dict[str, MetricSpec] = _metrics(
+    MetricSpec(
+        "query.count", "counter", "queries",
+        "every answered query (efficient or baseline, any objective)",
+    ),
+    MetricSpec(
+        "query.improved", "counter", "queries",
+        "answered queries whose result places a new facility",
+    ),
+    MetricSpec(
+        "query.no_improvement", "counter", "queries",
+        "answered queries normalised to NO_IMPROVEMENT",
+    ),
+    MetricSpec(
+        "query.seconds", "histogram", "seconds",
+        "per-query wall time (solver only, excluding index build)",
+    ),
+    MetricSpec(
+        "query.clients", "histogram", "clients",
+        "per-query |C|",
+    ),
+    MetricSpec(
+        "query.pruned_clients", "histogram", "clients",
+        "per-query clients pruned/settled (Lemma 5.1)",
+    ),
+    MetricSpec(
+        "query.distance_computations", "histogram", "computations",
+        "per-query matrix-resolved distance computations",
+    ),
+    MetricSpec(
+        "index.build.seconds", "histogram", "seconds",
+        "per VIP-tree construction wall time",
+    ),
+    MetricSpec(
+        "cache.entries", "gauge", "entries",
+        "distance-memo entries after the most recent session query",
+    ),
+    MetricSpec(
+        "cache.evictions", "counter", "evictions",
+        "memo entries evicted under a max_cache_entries budget",
+    ),
+    MetricSpec(
+        "parallel.batches", "counter", "batches",
+        "every run_batch_parallel call with workers > 1",
+    ),
+    MetricSpec(
+        "parallel.shards", "counter", "shards",
+        "every shard executed by a pool worker",
+    ),
+    MetricSpec(
+        "parallel.workers", "gauge", "processes",
+        "pool size of the most recent parallel batch",
+    ),
+    MetricSpec(
+        "parallel.shard.seconds", "histogram", "seconds",
+        "per-shard execution wall time (inside the worker)",
+    ),
+    MetricSpec(
+        "parallel.shard.queue_wait_seconds", "histogram", "seconds",
+        "per-shard wait between submission and worker pickup "
+        "(wall-clock based; approximate across processes)",
+    ),
+    MetricSpec(
+        "parallel.merge.seconds", "histogram", "seconds",
+        "per-batch result reassembly and statistics merge time",
+    ),
+)

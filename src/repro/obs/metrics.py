@@ -1,0 +1,301 @@
+"""Metrics registry: counters, gauges, bounded-reservoir histograms.
+
+A :class:`MetricsRegistry` aggregates the serving-level view the span
+tracer is too fine-grained for: how many queries ran, how the per-query
+latency distribution looks, how big the distance caches are, how long
+parallel shards waited in the pool queue.  The metric *names* and units
+the library reports are the documented contract in
+:mod:`repro.obs.contract` / ``docs/OBSERVABILITY.md``.
+
+Three instrument kinds:
+
+* **counter** — a monotonically increasing sum (``query.count``);
+* **gauge** — a last-written level sample (``cache.entries``);
+* **histogram** — count / sum / min / max plus a *bounded reservoir*
+  of the first ``reservoir_limit`` samples, from which percentiles are
+  estimated.  Keeping the first N (rather than random sampling) makes
+  runs deterministic and costs O(1) per observation.
+
+Merging (``merge_snapshot``) is how per-worker registries fold into
+one session-level registry after a parallel batch: counters and
+histogram count/sum add, min/max combine, reservoirs concatenate up to
+the bound, and gauges take the **maximum** across workers (a gauge is
+a per-process level, so the pool-wide view keeps the largest
+observation; sums would double-count re-sampled levels).
+
+Like :mod:`repro.obs.trace`, enablement is process-global: library
+code reports through the module-level :func:`add` / :func:`record` /
+:func:`set_gauge` functions, which are single-global-read no-ops while
+no registry is installed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "install",
+    "uninstall",
+    "active",
+    "use",
+    "add",
+    "record",
+    "set_gauge",
+]
+
+Number = Union[int, float]
+
+DEFAULT_RESERVOIR_LIMIT = 256
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def add(self, amount: Number = 1) -> None:
+        """Increase the counter (``amount`` must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-written level sample."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Overwrite the gauge with the current level."""
+        self.value = value
+
+
+class Histogram:
+    """Count/sum/min/max plus a bounded first-N sample reservoir."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "reservoir",
+                 "reservoir_limit")
+
+    def __init__(
+        self, reservoir_limit: int = DEFAULT_RESERVOIR_LIMIT
+    ) -> None:
+        if reservoir_limit < 1:
+            raise ValueError("reservoir_limit must be >= 1")
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.reservoir: List[float] = []
+        self.reservoir_limit = reservoir_limit
+
+    def record(self, value: Number) -> None:
+        """Observe one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self.reservoir) < self.reservoir_limit:
+            self.reservoir.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the reservoir.
+
+        Nearest-rank on the sorted reservoir; exact while fewer than
+        ``reservoir_limit`` samples were observed, an estimate over the
+        first N afterwards.  Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be within [0, 1]: {q}")
+        if not self.reservoir:
+            return 0.0
+        ordered = sorted(self.reservoir)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms, created on first use."""
+
+    def __init__(
+        self, reservoir_limit: int = DEFAULT_RESERVOIR_LIMIT
+    ) -> None:
+        self.reservoir_limit = reservoir_limit
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access (create on first use) -----------------------
+    def counter(self, name: str) -> Counter:
+        """The named counter (created at zero on first access)."""
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge (created at zero on first access)."""
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram (created empty on first access)."""
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(
+                self.reservoir_limit
+            )
+        return instrument
+
+    # -- reporting shorthands ------------------------------------------
+    def add(self, name: str, amount: Number = 1) -> None:
+        """Increment the named counter."""
+        self.counter(name).add(amount)
+
+    def record(self, name: str, value: Number) -> None:
+        """Observe a sample on the named histogram."""
+        self.histogram(name).record(value)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        """Set the named gauge."""
+        self.gauge(name).set(value)
+
+    # -- snapshot / merge ----------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, Dict[str, object]]]:
+        """Plain-data image of every instrument (JSON/CSV friendly).
+
+        Schema::
+
+            {"counters":   {name: {"value": n}},
+             "gauges":     {name: {"value": x}},
+             "histograms": {name: {"count": n, "sum": s,
+                                   "min": lo, "max": hi,
+                                   "reservoir": [...]}}}
+        """
+        return {
+            "counters": {
+                name: {"value": counter.value}
+                for name, counter in self.counters.items()
+            },
+            "gauges": {
+                name: {"value": gauge.value}
+                for name, gauge in self.gauges.items()
+            },
+            "histograms": {
+                name: {
+                    "count": hist.count,
+                    "sum": hist.total,
+                    "min": hist.minimum,
+                    "max": hist.maximum,
+                    "reservoir": list(hist.reservoir),
+                }
+                for name, hist in self.histograms.items()
+            },
+        }
+
+    def merge_snapshot(
+        self, snapshot: Dict[str, Dict[str, Dict[str, object]]]
+    ) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker) into this
+        registry: counters and histogram count/sum add, min/max
+        combine, reservoirs concatenate up to the bound, gauges take
+        the maximum (see module docstring)."""
+        for name, payload in snapshot.get("counters", {}).items():
+            self.counter(name).add(payload["value"])
+        for name, payload in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            if payload["value"] > gauge.value:
+                gauge.set(payload["value"])
+        for name, payload in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name)
+            hist.count += payload["count"]
+            hist.total += payload["sum"]
+            if payload["count"]:
+                if payload["min"] < hist.minimum:
+                    hist.minimum = payload["min"]
+                if payload["max"] > hist.maximum:
+                    hist.maximum = payload["max"]
+            room = hist.reservoir_limit - len(hist.reservoir)
+            if room > 0:
+                hist.reservoir.extend(payload["reservoir"][:room])
+
+
+# ---------------------------------------------------------------------------
+# Process-global enablement
+# ---------------------------------------------------------------------------
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def install(
+    registry: Optional[MetricsRegistry],
+) -> Optional[MetricsRegistry]:
+    """Make ``registry`` the process-global registry; returns the
+    previous one (``None`` disables metrics)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+def uninstall() -> Optional[MetricsRegistry]:
+    """Disable metrics; returns the registry that was active."""
+    return install(None)
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The process-global registry, or ``None`` when metrics are off."""
+    return _ACTIVE
+
+
+def add(name: str, amount: Number = 1) -> None:
+    """Increment a counter on the active registry (no-op when off)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.add(name, amount)
+
+
+def record(name: str, value: Number) -> None:
+    """Observe a histogram sample on the active registry (no-op when
+    off)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.record(name, value)
+
+
+def set_gauge(name: str, value: Number) -> None:
+    """Set a gauge on the active registry (no-op when off)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.set_gauge(name, value)
+
+
+@contextmanager
+def use(
+    registry: Optional[MetricsRegistry],
+) -> Iterator[Optional[MetricsRegistry]]:
+    """Scope-install a registry, restoring the previous one on exit."""
+    previous = install(registry)
+    try:
+        yield registry
+    finally:
+        install(previous)

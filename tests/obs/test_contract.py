@@ -1,0 +1,48 @@
+"""Sanity checks on the instrumentation contract itself."""
+
+import re
+
+from repro.obs import contract
+
+NAME_PATTERN = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+class TestSpecs:
+    def test_span_keys_match_spec_names(self):
+        for name, spec in contract.SPANS.items():
+            assert spec.name == name
+
+    def test_metric_keys_match_spec_names(self):
+        for name, spec in contract.METRICS.items():
+            assert spec.name == name
+
+    def test_names_are_dotted_lowercase(self):
+        for name in list(contract.SPANS) + list(contract.METRICS):
+            assert NAME_PATTERN.match(name), name
+
+    def test_metric_kinds_are_valid(self):
+        for spec in contract.METRICS.values():
+            assert spec.kind in ("counter", "gauge", "histogram")
+
+    def test_every_spec_documents_when_it_fires(self):
+        for spec in list(contract.SPANS.values()) + list(
+            contract.METRICS.values()
+        ):
+            assert spec.fires.strip()
+
+    def test_units_present_on_metrics(self):
+        for spec in contract.METRICS.values():
+            assert spec.unit.strip()
+
+    def test_seconds_metrics_are_histograms(self):
+        for name, spec in contract.METRICS.items():
+            if name.endswith(".seconds"):
+                assert spec.kind == "histogram", name
+
+    def test_specs_are_frozen(self):
+        spec = next(iter(contract.SPANS.values()))
+        try:
+            spec.name = "mutated"
+        except AttributeError:
+            return
+        raise AssertionError("SpanSpec should be frozen")

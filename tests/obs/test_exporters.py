@@ -1,0 +1,132 @@
+"""Round-trip and formatting tests for :mod:`repro.obs.exporters`."""
+
+import os
+
+import pytest
+
+from repro.obs.exporters import (
+    METRICS_CSV_COLUMNS,
+    format_trace_tree,
+    read_metrics_csv,
+    read_trace_jsonl,
+    write_metrics_csv,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def make_tracer():
+    tracer = Tracer()
+    with tracer.span("outer", label="x"):
+        with tracer.span("inner"):
+            pass
+    return tracer
+
+
+class TestTraceJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer = make_tracer()
+        path = tmp_path / "trace.jsonl"
+        count = write_trace_jsonl(tracer, path)
+        assert count == 2
+        loaded = read_trace_jsonl(path)
+        assert loaded == tracer.sorted_records()
+
+    def test_writes_in_start_order(self, tmp_path):
+        tracer = make_tracer()
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(tracer, path)
+        indices = [record.index for record in read_trace_jsonl(path)]
+        assert indices == sorted(indices)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "trace.jsonl"
+        write_trace_jsonl(make_tracer(), path)
+        assert path.exists()
+
+
+class TestTraceTree:
+    def test_indents_by_depth_and_shows_attrs(self):
+        rendered = format_trace_tree(make_tracer())
+        lines = rendered.splitlines()
+        assert lines[0].startswith("outer")
+        assert "label=x" in lines[0]
+        assert lines[1].startswith("  inner")
+        assert "ms" in lines[0]
+
+    def test_tags_foreign_pids(self):
+        tracer = make_tracer()
+        # A pid differing from the trace's own (first record's) pid is
+        # tagged; the trace-owning process's spans are not.
+        inner = [r for r in tracer.records if r.name == "inner"][0]
+        inner.pid = os.getpid() + 1
+        rendered = format_trace_tree(tracer)
+        lines = rendered.splitlines()
+        assert f"pid={os.getpid() + 1}" in lines[1]
+        assert "pid=" not in lines[0]
+
+    def test_counter_deltas_rendered_signed(self):
+        tracer = Tracer()
+
+        class Stats:
+            values = {"calls": 0}
+
+            def snapshot(self):
+                return dict(self.values)
+
+        stats = Stats()
+        with tracer.span("work", stats=stats):
+            stats.values["calls"] += 3
+        assert "calls=+3" in format_trace_tree(tracer)
+
+
+class TestMetricsCsv:
+    def make_registry(self):
+        registry = MetricsRegistry()
+        registry.add("query.count", 4)
+        registry.set_gauge("cache.entries", 17)
+        for value in (0.1, 0.2, 0.3, 0.4):
+            registry.record("query.seconds", value)
+        return registry
+
+    def test_round_trip(self, tmp_path):
+        registry = self.make_registry()
+        path = tmp_path / "metrics.csv"
+        rows = write_metrics_csv(registry, path)
+        assert rows == 3
+        loaded = read_metrics_csv(path)
+        assert loaded["query.count"]["type"] == "counter"
+        assert loaded["query.count"]["value"] == 4
+        assert loaded["cache.entries"]["value"] == 17
+        histogram = loaded["query.seconds"]
+        assert histogram["count"] == 4
+        assert histogram["sum"] == pytest.approx(1.0)
+        assert histogram["min"] == pytest.approx(0.1)
+        assert histogram["max"] == pytest.approx(0.4)
+        assert histogram["p50"] == pytest.approx(0.3)
+
+    def test_header_matches_documented_columns(self, tmp_path):
+        path = tmp_path / "metrics.csv"
+        write_metrics_csv(self.make_registry(), path)
+        header = path.read_text().splitlines()[0]
+        assert header == ",".join(METRICS_CSV_COLUMNS)
+
+    def test_rows_sorted_for_stable_diffs(self, tmp_path):
+        path = tmp_path / "metrics.csv"
+        write_metrics_csv(self.make_registry(), path)
+        kinds = [
+            line.split(",")[1]
+            for line in path.read_text().splitlines()[1:]
+        ]
+        assert kinds == sorted(kinds)
+
+    def test_empty_histogram_leaves_blank_stats(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.histogram("empty")
+        path = tmp_path / "metrics.csv"
+        write_metrics_csv(registry, path)
+        loaded = read_metrics_csv(path)
+        row = loaded["empty"]
+        assert row["count"] == 0
+        assert "min" not in row and "p50" not in row

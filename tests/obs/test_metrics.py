@@ -1,0 +1,157 @@
+"""Unit tests for :mod:`repro.obs.metrics`."""
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_adds(self):
+        registry = MetricsRegistry()
+        registry.add("c")
+        registry.add("c", 4)
+        assert registry.counter("c").value == 5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.add("c", -1)
+
+    def test_gauge_keeps_last_value(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 10)
+        registry.set_gauge("g", 3)
+        assert registry.gauge("g").value == 3
+
+    def test_histogram_summary(self):
+        histogram = Histogram()
+        for value in (3.0, 1.0, 2.0):
+            histogram.record(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(6.0)
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 3.0
+        assert histogram.mean == pytest.approx(2.0)
+
+    def test_histogram_percentiles_nearest_rank(self):
+        histogram = Histogram()
+        for value in range(1, 101):  # 1..100
+            histogram.record(float(value))
+        # rank = int(q * n), capped at n - 1
+        assert histogram.percentile(0.5) == 51.0
+        assert histogram.percentile(0.95) == 96.0
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(1.0) == 100.0
+
+    def test_histogram_percentile_bounds_checked(self):
+        histogram = Histogram()
+        histogram.record(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+        assert Histogram().percentile(0.5) == 0.0
+
+    def test_histogram_reservoir_is_bounded_first_n(self):
+        histogram = Histogram(reservoir_limit=4)
+        for value in range(10):
+            histogram.record(float(value))
+        assert histogram.reservoir == [0.0, 1.0, 2.0, 3.0]
+        assert histogram.count == 10  # summary still exact
+        assert histogram.maximum == 9.0
+
+
+class TestSnapshotAndMerge:
+    def _fill(self, registry, offset=0):
+        registry.add("queries", 2)
+        registry.set_gauge("entries", 10 + offset)
+        registry.record("seconds", 1.0 + offset)
+        registry.record("seconds", 3.0 + offset)
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        self._fill(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["queries"]["value"] == 2
+        assert snapshot["gauges"]["entries"]["value"] == 10
+        histogram = snapshot["histograms"]["seconds"]
+        assert histogram["count"] == 2
+        assert histogram["sum"] == pytest.approx(4.0)
+        assert histogram["min"] == 1.0
+        assert histogram["max"] == 3.0
+
+    def test_merge_equals_serial_for_additive_instruments(self):
+        """Sharded collection folds to the same totals as serial."""
+        serial = MetricsRegistry()
+        worker_a = MetricsRegistry()
+        worker_b = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            serial.record("seconds", value)
+            serial.add("queries")
+        worker_a.record("seconds", 1.0)
+        worker_a.add("queries")
+        for value in (2.0, 3.0):
+            worker_b.record("seconds", value)
+            worker_b.add("queries")
+
+        merged = MetricsRegistry()
+        merged.merge_snapshot(worker_a.snapshot())
+        merged.merge_snapshot(worker_b.snapshot())
+
+        assert (
+            merged.counter("queries").value
+            == serial.counter("queries").value
+        )
+        merged_h = merged.histogram("seconds")
+        serial_h = serial.histogram("seconds")
+        assert merged_h.count == serial_h.count
+        assert merged_h.total == pytest.approx(serial_h.total)
+        assert merged_h.minimum == serial_h.minimum
+        assert merged_h.maximum == serial_h.maximum
+        assert sorted(merged_h.reservoir) == sorted(serial_h.reservoir)
+
+    def test_merge_gauges_take_maximum(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.set_gauge("entries", 44)
+        right.set_gauge("entries", 7)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(left.snapshot())
+        merged.merge_snapshot(right.snapshot())
+        assert merged.gauge("entries").value == 44
+
+    def test_merge_respects_reservoir_bound(self):
+        big = MetricsRegistry()
+        for value in range(300):
+            big.record("h", float(value))
+        merged = MetricsRegistry()
+        merged.merge_snapshot(big.snapshot())
+        merged.merge_snapshot(big.snapshot())
+        histogram = merged.histogram("h")
+        assert histogram.count == 600
+        assert len(histogram.reservoir) <= histogram.reservoir_limit
+
+
+class TestGlobalEnablement:
+    def test_disabled_calls_are_true_noops(self):
+        assert metrics.active() is None
+        metrics.add("never", 5)
+        metrics.record("never", 1.0)
+        metrics.set_gauge("never", 2)
+        assert metrics.active() is None  # nothing was created
+
+    def test_use_installs_and_restores(self):
+        registry = MetricsRegistry()
+        with metrics.use(registry):
+            assert metrics.active() is registry
+            metrics.add("seen")
+        assert metrics.active() is None
+        assert registry.counter("seen").value == 1
+
+    def test_use_restores_previous_registry(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with metrics.use(outer):
+            with metrics.use(inner):
+                metrics.add("x")
+            metrics.add("x")
+        assert inner.counter("x").value == 1
+        assert outer.counter("x").value == 1

@@ -1,0 +1,85 @@
+"""Disabled-mode observability must cost nothing measurable.
+
+The disabled path of every instrumentation point is a single
+module-global ``None`` check.  This test compares real query timings
+on the shipped disabled path against the same queries with the
+instrumentation entry points stubbed out entirely (the closest
+measurable stand-in for "instrumentation removed"), and asserts the
+medians agree within the documented 2% budget.
+
+Timing tests are noise-sensitive: samples are interleaved A/B to share
+thermal/frequency state, medians are compared, and the measurement is
+retried once before failing.
+"""
+
+import statistics
+import time
+
+from repro.obs import metrics as metrics_module
+from repro.obs import trace as trace_module
+from repro.obs.trace import NULL_SPAN
+
+
+def _measure(run, reps=9):
+    """Interleaved medians: (disabled-path, stubbed-instrumentation)."""
+    stubs = {
+        trace_module: {"span": lambda *a, **k: NULL_SPAN},
+        metrics_module: {
+            "add": lambda *a, **k: None,
+            "record": lambda *a, **k: None,
+            "set_gauge": lambda *a, **k: None,
+            "active": lambda: None,
+        },
+    }
+    originals = {
+        module: {name: getattr(module, name) for name in names}
+        for module, names in stubs.items()
+    }
+    disabled = []
+    stubbed = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        run()
+        disabled.append(time.perf_counter() - started)
+        for module, names in stubs.items():
+            for name, stub in names.items():
+                setattr(module, name, stub)
+        try:
+            started = time.perf_counter()
+            run()
+            stubbed.append(time.perf_counter() - started)
+        finally:
+            for module, names in originals.items():
+                for name, original in names.items():
+                    setattr(module, name, original)
+    return statistics.median(disabled), statistics.median(stubbed)
+
+
+class TestDisabledOverhead:
+    def test_disabled_path_within_two_percent(self, office_engine):
+        venue = office_engine.venue
+        from ..conftest import facility_split, make_clients
+
+        clients = make_clients(venue, 120, seed=9)
+        rooms = [
+            p.partition_id
+            for p in venue.partitions()
+            if p.kind.value == "room"
+        ]
+        facilities = facility_split(rooms, 3, 6)
+
+        def run():
+            office_engine.query(clients, facilities, cold=True)
+
+        run()  # warm code paths before timing
+        assert trace_module.active() is None  # genuinely disabled
+
+        for attempt in range(2):
+            disabled, stubbed = _measure(run)
+            budget = stubbed * 1.02 + 1e-4  # 2% + timer-noise floor
+            if disabled <= budget:
+                return
+        raise AssertionError(
+            f"disabled-mode median {disabled:.6f}s exceeds 2% budget "
+            f"over stubbed instrumentation ({stubbed:.6f}s)"
+        )

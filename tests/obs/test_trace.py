@@ -1,0 +1,213 @@
+"""Unit tests for :mod:`repro.obs.trace`."""
+
+import os
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import NULL_SPAN, SpanRecord, Tracer
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FakeStats:
+    """A counter source with the ``snapshot()`` protocol."""
+
+    def __init__(self) -> None:
+        self.values = {"calls": 0, "hits": 0}
+
+    def snapshot(self):
+        return dict(self.values)
+
+
+class TestSpans:
+    def test_nesting_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        records = {r.name: r for r in tracer.sorted_records()}
+        assert records["outer"].parent is None
+        assert records["outer"].depth == 0
+        assert records["inner"].parent == records["outer"].index
+        assert records["inner"].depth == 1
+        assert records["leaf"].parent == records["inner"].index
+        assert records["leaf"].depth == 2
+        assert records["sibling"].parent == records["outer"].index
+        assert records["sibling"].depth == 1
+
+    def test_indices_follow_start_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        names = [r.name for r in tracer.sorted_records()]
+        assert names == ["a", "b", "c"]
+        indices = [r.index for r in tracer.sorted_records()]
+        assert indices == [0, 1, 2]
+
+    def test_timing_with_injected_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        clock.advance(1.0)
+        with tracer.span("outer"):
+            clock.advance(0.25)
+            with tracer.span("inner"):
+                clock.advance(0.5)
+            clock.advance(0.25)
+        records = {r.name: r for r in tracer.sorted_records()}
+        assert records["outer"].start == pytest.approx(1.0)
+        assert records["outer"].duration == pytest.approx(1.0)
+        assert records["inner"].start == pytest.approx(1.25)
+        assert records["inner"].duration == pytest.approx(0.5)
+        # The child is contained within the parent interval.
+        assert records["inner"].start >= records["outer"].start
+        assert (
+            records["inner"].start + records["inner"].duration
+            <= records["outer"].start + records["outer"].duration
+            + 1e-9
+        )
+
+    def test_real_clock_durations_are_nonnegative(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        for record in tracer.sorted_records():
+            assert record.duration >= 0.0
+            assert record.start >= 0.0
+            assert record.pid == os.getpid()
+
+    def test_counter_deltas_keep_only_changes(self):
+        stats = FakeStats()
+        tracer = Tracer()
+        with tracer.span("work", stats=stats):
+            stats.values["calls"] += 7
+        (record,) = tracer.records
+        assert record.counters == {"calls": 7}  # "hits" did not move
+
+    def test_nested_counter_deltas_are_per_span(self):
+        stats = FakeStats()
+        tracer = Tracer()
+        with tracer.span("outer", stats=stats):
+            stats.values["calls"] += 2
+            with tracer.span("inner", stats=stats):
+                stats.values["calls"] += 3
+        records = {r.name: r for r in tracer.sorted_records()}
+        assert records["inner"].counters == {"calls": 3}
+        assert records["outer"].counters == {"calls": 5}
+
+    def test_attrs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("q", kind="test") as span:
+            span.set(answer=42)
+        (record,) = tracer.records
+        assert record.attrs == {"kind": "test", "answer": 42}
+
+    def test_error_attr_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("boom")
+        (record,) = tracer.records
+        assert record.attrs["error"] == "ValueError"
+        # The stack unwound: a new span is a root again.
+        with tracer.span("after"):
+            pass
+        after = tracer.sorted_records()[-1]
+        assert after.parent is None
+
+
+class TestAbsorb:
+    def _worker_records(self):
+        worker = Tracer(clock=FakeClock(0.0))
+        with worker.span("shard", queries=2):
+            with worker.span("query"):
+                pass
+            with worker.span("query"):
+                pass
+        records = worker.sorted_records()
+        for record in records:  # simulate a foreign pid
+            record.pid = 99999
+        return records
+
+    def test_absorb_reparents_under_open_span(self):
+        parent = Tracer()
+        with parent.span("run") as run_span:
+            parent.absorb(self._worker_records())
+        records = parent.sorted_records()
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record.name, []).append(record)
+        shard = by_name["shard"][0]
+        assert shard.parent == run_span.index
+        assert shard.depth == 1
+        for query in by_name["query"]:
+            assert query.parent == shard.index
+            assert query.depth == 2
+            assert query.pid == 99999
+
+    def test_absorb_without_open_span_makes_roots(self):
+        parent = Tracer()
+        parent.absorb(self._worker_records())
+        shard = [r for r in parent.records if r.name == "shard"][0]
+        assert shard.parent is None
+        assert shard.depth == 0
+
+    def test_absorb_reindexes_into_parent_sequence(self):
+        parent = Tracer()
+        with parent.span("run"):
+            parent.absorb(self._worker_records())
+            parent.absorb(self._worker_records())
+        indices = [r.index for r in parent.sorted_records()]
+        assert indices == sorted(indices)
+        assert len(indices) == len(set(indices)) == 7
+
+    def test_round_trip_record_dict(self):
+        record = SpanRecord(
+            index=3, name="x", parent=1, depth=2, start=0.5,
+            duration=0.1, pid=123, attrs={"a": 1},
+            counters={"calls": 2},
+        )
+        assert SpanRecord.from_dict(record.to_dict()) == record
+
+
+class TestGlobalEnablement:
+    def test_disabled_span_is_shared_null(self):
+        assert trace.active() is None
+        assert trace.span("anything", ignored=1) is NULL_SPAN
+        with trace.span("anything") as span:
+            span.set(also_ignored=2)  # must not raise
+
+    def test_use_installs_and_restores(self):
+        tracer = Tracer()
+        with trace.use(tracer):
+            assert trace.active() is tracer
+            with trace.span("seen"):
+                pass
+        assert trace.active() is None
+        assert [r.name for r in tracer.records] == ["seen"]
+
+    def test_use_restores_previous_tracer(self):
+        outer, inner = Tracer(), Tracer()
+        with trace.use(outer):
+            with trace.use(inner):
+                assert trace.active() is inner
+            assert trace.active() is outer
+        assert trace.active() is None

@@ -170,3 +170,77 @@ class TestRenderAndTopK:
         assert main(["backends", "CPH", "--pairs", "30"]) == 0
         out = capsys.readouterr().out
         assert "viptree" in out and "doortable" in out and "iptree" in out
+
+
+class TestObservabilityFlags:
+    def test_trace_and_metrics_defaults_off(self):
+        args = build_parser().parse_args(["query", "CPH"])
+        assert args.trace is None
+        assert args.metrics is None
+
+    def test_single_query_trace_export(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([
+            "query", "CPH", "--clients", "25",
+            "--trace", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"-> {trace_path}" in out
+        from repro.obs import contract
+        from repro.obs.exporters import read_trace_jsonl
+
+        records = read_trace_jsonl(trace_path)
+        names = {record.name for record in records}
+        assert names <= set(contract.SPANS)
+        assert "query.efficient.minmax" in names
+
+    def test_batch_workers_trace_and_metrics(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.csv"
+        assert main([
+            "query", "CPH", "--clients", "25", "--batch", "4",
+            "--workers", "2",
+            "--trace", str(trace_path),
+            "--metrics", str(metrics_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "spans ->" in out and "instruments ->" in out
+
+        from repro.obs import contract
+        from repro.obs.exporters import (
+            read_metrics_csv,
+            read_trace_jsonl,
+        )
+
+        records = read_trace_jsonl(trace_path)
+        names = {record.name for record in records}
+        assert names <= set(contract.SPANS)
+        assert {"parallel.run", "parallel.shard",
+                "session.query"} <= names
+        # Worker spans were absorbed with their own pids.
+        assert len({record.pid for record in records}) >= 2
+
+        rows = read_metrics_csv(metrics_path)
+        assert set(rows) <= set(contract.METRICS)
+        assert rows["query.count"]["value"] == 4
+        assert rows["parallel.workers"]["value"] == 2
+
+    def test_metrics_alone(self, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.csv"
+        assert main([
+            "query", "CPH", "--clients", "20",
+            "--metrics", str(metrics_path),
+        ]) == 0
+        from repro.obs.exporters import read_metrics_csv
+
+        rows = read_metrics_csv(metrics_path)
+        assert rows["query.count"]["value"] == 1
+        assert "query.seconds" in rows
+
+    def test_no_flags_leaves_observability_disabled(self, capsys):
+        from repro.obs import metrics as metrics_module
+        from repro.obs import trace as trace_module
+
+        assert main(["query", "CPH", "--clients", "20"]) == 0
+        assert trace_module.active() is None
+        assert metrics_module.active() is None

@@ -1,0 +1,349 @@
+#!/usr/bin/env python
+"""Keep the Markdown docs in lockstep with the code.
+
+Three check families, all zero-dependency:
+
+* **Static** (always on): every relative link and ``#anchor`` in the
+  docs resolves; every fenced ``bash`` line invoking ``ifls`` /
+  ``python -m repro`` parses against the real argparse tree; every
+  fenced ``python`` block at least compiles.
+* **--exec**: additionally *execute* the ``python`` blocks of the
+  runnable docs (README, USAGE, OBSERVABILITY) top to bottom in one
+  namespace per file, inside a temp directory.  A block preceded by
+  ``<!-- check-docs: no-exec -->`` is compiled but not run.
+* **--contract**: diff the span/metric tables of
+  ``docs/OBSERVABILITY.md`` against :mod:`repro.obs.contract` — names,
+  kinds, units, and "fires" text must match exactly (``\\|`` in table
+  cells unescapes to ``|``).
+
+Exit status 0 when clean, 1 with one line per problem otherwise.
+Run from the repo root: ``PYTHONPATH=src python tools/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import os
+import re
+import shlex
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+DEFAULT_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "CHANGELOG.md",
+    "docs/USAGE.md",
+    "docs/ALGORITHMS.md",
+    "docs/ARCHITECTURE.md",
+    "docs/OBSERVABILITY.md",
+    "docs/API.md",
+)
+
+# Docs whose python blocks form a runnable, top-to-bottom script.
+EXEC_FILES = ("README.md", "docs/USAGE.md", "docs/OBSERVABILITY.md")
+
+NO_EXEC_MARKER = "<!-- check-docs: no-exec -->"
+
+_FENCE = re.compile(r"^```(\S*)\s*$")
+_LINK = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
+
+
+class Block:
+    """One fenced code block."""
+
+    def __init__(self, lang: str, line: int, code: str, skip: bool):
+        self.lang = lang
+        self.line = line  # 1-based line of the opening fence
+        self.code = code
+        self.skip = skip
+
+
+def split_markdown(text: str) -> Tuple[List[str], List[Block]]:
+    """Separate prose lines (fences blanked) from fenced blocks."""
+    prose: List[str] = []
+    blocks: List[Block] = []
+    in_fence = False
+    lang = ""
+    start = 0
+    body: List[str] = []
+    pending_skip = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = _FENCE.match(line)
+        if match and not in_fence:
+            in_fence, lang, start, body = True, match.group(1), number, []
+            prose.append("")
+        elif match and in_fence and match.group(1) == "":
+            blocks.append(Block(lang, start, "\n".join(body), pending_skip))
+            in_fence, pending_skip = False, False
+            prose.append("")
+        elif in_fence:
+            body.append(line)
+            prose.append("")
+        else:
+            if line.strip() == NO_EXEC_MARKER:
+                pending_skip = True
+            prose.append(line)
+    return prose, blocks
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    slug = heading.strip().lstrip("#").strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> List[str]:
+    prose, _ = split_markdown(path.read_text())
+    return [
+        github_slug(line) for line in prose if re.match(r"^#{1,6} ", line)
+    ]
+
+
+def check_links(path: Path, errors: List[str]) -> None:
+    prose, _ = split_markdown(path.read_text())
+    for number, line in enumerate(prose, start=1):
+        for text, target in _LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            where = f"{path.relative_to(REPO)}:{number}"
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                dest = (path.parent / file_part).resolve()
+                try:
+                    dest.relative_to(REPO)
+                except ValueError:
+                    continue  # web-relative (e.g. CI badge), not a file
+                if not dest.exists():
+                    errors.append(f"{where}: broken link -> {target}")
+                    continue
+            else:
+                dest = path
+            if anchor and dest.suffix == ".md":
+                if anchor not in heading_slugs(dest):
+                    errors.append(
+                        f"{where}: missing anchor #{anchor} in "
+                        f"{dest.relative_to(REPO)}"
+                    )
+
+
+def _cli_argv(line: str) -> Optional[List[str]]:
+    """The repro-CLI argv documented on one shell line, if any."""
+    line = line.strip()
+    if line.startswith(("#", "$")):
+        line = line.lstrip("$ ")
+    try:
+        tokens = shlex.split(line, comments=True)
+    except ValueError:
+        return None
+    while tokens and re.match(r"^\w+=", tokens[0]):  # env prefixes
+        tokens = tokens[1:]
+    if not tokens:
+        return None
+    if tokens[0] == "ifls":
+        return tokens[1:]
+    if tokens[:3] == ["python", "-m", "repro"]:
+        return tokens[3:]
+    return None
+
+
+def check_cli_lines(path: Path, blocks: List[Block],
+                    errors: List[str]) -> int:
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    checked = 0
+    for block in blocks:
+        if block.lang not in ("bash", "sh", "shell", "console"):
+            continue
+        # Join backslash continuations before parsing.
+        joined = re.sub(r"\\\n\s*", " ", block.code)
+        for line in joined.splitlines():
+            argv = _cli_argv(line)
+            if argv is None:
+                continue
+            checked += 1
+            try:
+                with contextlib.redirect_stderr(io.StringIO()):
+                    parser.parse_args(argv)
+            except SystemExit:
+                errors.append(
+                    f"{path.relative_to(REPO)}:{block.line}: documented "
+                    f"command does not parse: {line.strip()}"
+                )
+    return checked
+
+
+def check_python_blocks(
+    path: Path,
+    blocks: List[Block],
+    errors: List[str],
+    execute: bool,
+) -> int:
+    checked = 0
+    namespace: Dict[str, object] = {"__name__": "__main__"}
+    for block in blocks:
+        if block.lang != "python":
+            continue
+        checked += 1
+        where = f"{path.relative_to(REPO)}:{block.line}"
+        try:
+            code = compile(block.code, where, "exec")
+        except SyntaxError as exc:
+            errors.append(f"{where}: syntax error in python block: {exc}")
+            continue
+        if not execute or block.skip:
+            continue
+        try:
+            exec(code, namespace)
+        except Exception as exc:  # report every failure, don't crash
+            errors.append(
+                f"{where}: python block raised "
+                f"{type(exc).__name__}: {exc}"
+            )
+            break  # later blocks depend on this one's names
+    return checked
+
+
+def _parse_table(lines: List[str], start: int) -> List[List[str]]:
+    """Markdown table rows (cells unescaped) following index ``start``."""
+    rows: List[List[str]] = []
+    for line in lines[start:]:
+        line = line.strip()
+        if not line.startswith("|"):
+            if rows:
+                break
+            continue
+        if re.match(r"^\|[\s\-|]+\|$", line):
+            continue  # separator row
+        cells = re.split(r"(?<!\\)\|", line.strip("|"))
+        rows.append(
+            [cell.strip().replace("\\|", "|") for cell in cells]
+        )
+    return rows[1:] if rows else []  # drop the header row
+
+
+def check_contract(errors: List[str]) -> None:
+    from repro.obs import contract
+
+    path = REPO / "docs/OBSERVABILITY.md"
+    doc = path.relative_to(REPO)
+    prose = path.read_text().splitlines()
+
+    def table_after(heading: str) -> List[List[str]]:
+        for index, line in enumerate(prose):
+            if line.strip() == heading:
+                return _parse_table(prose, index)
+        errors.append(f"{doc}: missing section {heading!r}")
+        return []
+
+    spans = {
+        row[0].strip("`"): row[1]
+        for row in table_after("## Span contract")
+        if len(row) == 2
+    }
+    for name, spec in contract.SPANS.items():
+        if name not in spans:
+            errors.append(f"{doc}: span `{name}` missing from table")
+        elif spans[name] != spec.fires:
+            errors.append(
+                f"{doc}: span `{name}` fires text differs from "
+                f"contract: {spans[name]!r} != {spec.fires!r}"
+            )
+    for name in spans:
+        if name not in contract.SPANS:
+            errors.append(f"{doc}: span `{name}` not in contract.SPANS")
+
+    metrics = {
+        row[0].strip("`"): row[1:]
+        for row in table_after("## Metric contract")
+        if len(row) == 4
+    }
+    for name, spec in contract.METRICS.items():
+        if name not in metrics:
+            errors.append(f"{doc}: metric `{name}` missing from table")
+            continue
+        kind, unit, fires = metrics[name]
+        expected = (spec.kind, spec.unit, spec.fires)
+        if (kind, unit, fires) != expected:
+            errors.append(
+                f"{doc}: metric `{name}` row differs from contract: "
+                f"{(kind, unit, fires)!r} != {expected!r}"
+            )
+    for name in metrics:
+        if name not in contract.METRICS:
+            errors.append(
+                f"{doc}: metric `{name}` not in contract.METRICS"
+            )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    cli = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    cli.add_argument(
+        "files", nargs="*",
+        help="markdown files to check (default: the documented set)",
+    )
+    cli.add_argument(
+        "--exec", dest="execute", action="store_true",
+        help="also execute python blocks of the runnable docs",
+    )
+    cli.add_argument(
+        "--contract", action="store_true",
+        help="also diff OBSERVABILITY.md tables against repro.obs.contract",
+    )
+    args = cli.parse_args(argv)
+
+    files = [
+        (REPO / name).resolve()
+        for name in (args.files or DEFAULT_FILES)
+    ]
+    errors: List[str] = []
+    cli_lines = py_blocks = 0
+    exec_set = {(REPO / name).resolve() for name in EXEC_FILES}
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: no such file")
+            continue
+        _, blocks = split_markdown(path.read_text())
+        check_links(path, errors)
+        cli_lines += check_cli_lines(path, blocks, errors)
+        run_this = args.execute and path in exec_set
+        cwd = os.getcwd()
+        try:
+            if run_this:
+                with tempfile.TemporaryDirectory() as scratch:
+                    os.chdir(scratch)
+                    py_blocks += check_python_blocks(
+                        path, blocks, errors, execute=True
+                    )
+            else:
+                py_blocks += check_python_blocks(
+                    path, blocks, errors, execute=False
+                )
+        finally:
+            os.chdir(cwd)
+    if args.contract:
+        check_contract(errors)
+
+    for line in errors:
+        print(line)
+    mode = "executed" if args.execute else "compiled"
+    print(
+        f"check_docs: {len(files)} files, {cli_lines} CLI lines parsed, "
+        f"{py_blocks} python blocks {mode}, {len(errors)} problem(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
