@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Record (or refresh) the committed perf-gate baselines.
+
+Runs a :mod:`repro.bench.regress` suite ``--runs`` times (default 5),
+takes per-metric medians, and writes ``BENCH_<suite>.json`` at the
+repository root — the file the ``perf-gate`` CI job and ``ifls
+perfgate`` compare against.  Re-run and commit the result whenever an
+intentional algorithm change moves an exact counter::
+
+    PYTHONPATH=src python benchmarks/record_baseline.py --suite small
+
+Equivalent to ``tools/perf_gate.py --record`` / ``ifls perfgate
+--record``; this entry point lives next to the benchmarks because
+recording is a measurement, not a gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+
+if __name__ == "__main__":  # allow running from a source checkout
+    _src = _REPO / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.bench import regress  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="record median-of-N bench baselines for the "
+        "perf-regression gate"
+    )
+    parser.add_argument(
+        "--suite",
+        default="small",
+        choices=sorted(regress.SUITES),
+        help="metric suite to record (default: small)",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=5,
+        help="suite executions to take the median of "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="baseline file to write (default: BENCH_<suite>.json at "
+        "the repository root)",
+    )
+    args = parser.parse_args(argv)
+    path = args.out
+    if path is None:
+        path = regress.default_baseline_path(args.suite, root=_REPO)
+    baseline = regress.record_baseline(
+        args.suite, runs=args.runs, path=path
+    )
+    print(
+        f"recorded {len(baseline.metrics)} metrics "
+        f"(median of {args.runs}) to {path}"
+    )
+    for name in sorted(baseline.metrics):
+        value, kind = baseline.metrics[name]
+        print(f"  {name:<36} {kind:<6} {value:.6g}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

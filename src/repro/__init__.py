@@ -78,9 +78,15 @@ from .index import (
     VIPDistanceEngine,
     VIPTree,
 )
-from .obs import MetricsRegistry, Tracer, observe
+from .obs import (
+    ExplainReport,
+    MetricsRegistry,
+    ProfileCollector,
+    Tracer,
+    observe,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BASELINE",
@@ -95,6 +101,7 @@ __all__ = [
     "DoorGraph",
     "EFFICIENT",
     "EfficientOptions",
+    "ExplainReport",
     "FacilitySearch",
     "FacilitySets",
     "IFLSEngine",
@@ -119,6 +126,7 @@ __all__ = [
     "top_k_ifls",
     "PartitionKind",
     "Point",
+    "ProfileCollector",
     "QueryError",
     "QuerySession",
     "QueryStats",

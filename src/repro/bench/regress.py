@@ -1,0 +1,547 @@
+"""Perf-regression sentinel: versioned bench baselines, tolerance gates.
+
+The benchmark harness answers "how fast is it today"; this module
+answers "did it get worse".  A *baseline* is a committed JSON file
+(``BENCH_<suite>.json``) holding the median-of-N values of a metric
+suite, stamped with the recording machine's fingerprint and git
+revision.  A *gate* re-runs the suite and compares metric by metric:
+
+* **exact** metrics (distance computations, queue pops, pruning
+  counts, answer checksums) get **zero** tolerance — the algorithms
+  are deterministic, so any change is a behavioural regression (or an
+  intentional change that must re-record the baseline);
+* **wall** metrics (elapsed seconds) get a configurable relative band,
+  and are only *enforced* when the current machine fingerprint matches
+  the baseline's — wall time measured on different hardware is noise,
+  so a mismatch downgrades wall comparisons to ``skipped`` unless
+  ``strict_wall`` forces them.
+
+The gate report names every drifted metric with its baseline/current
+values, so a CI failure is actionable without re-running anything.
+Entry points: :func:`record_baseline`, :func:`gate`, the ``ifls
+perfgate`` CLI, and ``tools/perf_gate.py``.  Suite executions run
+under the ``perfgate.suite`` span; every comparison increments the
+``perfgate.comparisons`` / ``perfgate.drifted_metrics`` contract
+metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "EXACT",
+    "WALL",
+    "DEFAULT_WALL_TOLERANCE",
+    "SUITES",
+    "Baseline",
+    "GateEntry",
+    "GateReport",
+    "machine_fingerprint",
+    "git_sha",
+    "run_suite",
+    "record_baseline",
+    "load_baseline",
+    "compare_to_baseline",
+    "gate",
+    "default_baseline_path",
+]
+
+BASELINE_SCHEMA = 1
+
+EXACT = "exact"
+WALL = "wall"
+
+#: Relative band for wall-clock metrics: current may move +/- 50%.
+DEFAULT_WALL_TOLERANCE = 0.5
+
+#: One measured metric: ``(value, kind)`` with kind exact|wall.
+MetricSample = Tuple[float, str]
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Identify the measuring machine (decides wall enforcement)."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
+def git_sha() -> Optional[str]:
+    """The recorded tree's revision, or ``None`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+# ---------------------------------------------------------------------------
+# Suites
+# ---------------------------------------------------------------------------
+def _answer_checksum(results) -> int:
+    """Order-sensitive integer digest of a batch's answers."""
+    digest = 0
+    for position, result in enumerate(results, start=1):
+        answer = -1 if result.answer is None else int(result.answer)
+        digest += position * (answer + 7)
+    return digest
+
+
+def _suite_small() -> Dict[str, MetricSample]:
+    """The committed ``small`` suite: session + parallel + fig5-small.
+
+    Everything is seeded, so the exact counters are reproducible on
+    any machine; the wall metrics describe this host only.
+    """
+    import random
+
+    from ..core.parallel import run_batch_parallel
+    from ..core.queries import IFLSEngine
+    from ..core.session import BatchQuery
+    from ..core.stats import merge_query_stats
+    from ..datasets import (
+        random_facility_sets,
+        small_office,
+        uniform_clients,
+        venue_by_name,
+    )
+
+    metrics: Dict[str, MetricSample] = {}
+
+    # -- session: warm mixed-objective batch on the toy office venue.
+    venue = small_office(levels=2, rooms=24)
+    engine = IFLSEngine(venue)
+    rng = random.Random(0xC0FFEE)
+    objectives = ("minmax", "mindist", "maxsum")
+    batch = []
+    for number in range(6):
+        facilities = random_facility_sets(venue, 4, 8, rng)
+        clients = uniform_clients(venue, 40, rng)
+        batch.append(
+            BatchQuery(
+                tuple(clients),
+                facilities,
+                objective=objectives[number % len(objectives)],
+                label=f"q{number + 1}",
+            )
+        )
+    session = engine.session()
+    started = time.perf_counter()
+    results = session.run(batch)
+    session_seconds = time.perf_counter() - started
+    report = session.report()
+    merged = merge_query_stats(result.stats for result in results)
+    metrics["session.distance_computations"] = (
+        float(report.totals["distance_computations"]), EXACT,
+    )
+    metrics["session.d2d_lookups"] = (
+        float(report.totals["d2d_lookups"]), EXACT,
+    )
+    metrics["session.cache_hits"] = (float(report.cache_hits), EXACT)
+    metrics["session.queue_pops"] = (float(merged.queue_pops), EXACT)
+    metrics["session.clients_pruned"] = (
+        float(merged.clients_pruned), EXACT,
+    )
+    metrics["session.answer_checksum"] = (
+        float(_answer_checksum(results)), EXACT,
+    )
+    metrics["session.seconds"] = (session_seconds, WALL)
+
+    # -- parallel: same batch on a 2-worker pool.  Only QueryStats
+    # counters are gated: they are cache-warmth independent, whereas
+    # the distance-cache split varies with shard scheduling.
+    outcome = run_batch_parallel(engine, batch, workers=2)
+    stats = outcome.query_stats
+    metrics["parallel.queue_pops"] = (float(stats.queue_pops), EXACT)
+    metrics["parallel.facilities_retrieved"] = (
+        float(stats.facilities_retrieved), EXACT,
+    )
+    metrics["parallel.clients_pruned"] = (
+        float(stats.clients_pruned), EXACT,
+    )
+    metrics["parallel.answer_checksum"] = (
+        float(_answer_checksum(outcome.results)), EXACT,
+    )
+    metrics["parallel.seconds"] = (outcome.elapsed_seconds, WALL)
+
+    # -- fig5-small: efficient vs baseline, cold, on the CPH venue.
+    venue = venue_by_name("CPH")
+    engine = IFLSEngine(venue)
+    rng = random.Random(0x5EED)
+    facilities = random_facility_sets(venue, 10, 20, rng)
+    clients = uniform_clients(venue, 200, rng)
+    for algorithm in ("efficient", "baseline"):
+        started = time.perf_counter()
+        result = engine.query(
+            clients, facilities, algorithm=algorithm, cold=True
+        )
+        seconds = time.perf_counter() - started
+        distance = result.stats.distance
+        metrics[f"fig5.{algorithm}.distance_computations"] = (
+            float(distance.distance_computations), EXACT,
+        )
+        metrics[f"fig5.{algorithm}.answer"] = (
+            float(-1 if result.answer is None else result.answer),
+            EXACT,
+        )
+        metrics[f"fig5.{algorithm}.seconds"] = (seconds, WALL)
+        if algorithm == "efficient":
+            metrics["fig5.efficient.clients_pruned"] = (
+                float(result.stats.clients_pruned), EXACT,
+            )
+    return metrics
+
+
+#: Registered suites.  Tests may install fakes; the committed baseline
+#: files cover the real ones.
+SUITES: Dict[str, Callable[[], Dict[str, MetricSample]]] = {
+    "small": _suite_small,
+}
+
+
+def run_suite(name: str) -> Dict[str, MetricSample]:
+    """Execute suite ``name`` once under the ``perfgate.suite`` span."""
+    builder = SUITES.get(name)
+    if builder is None:
+        known = ", ".join(sorted(SUITES))
+        raise ValueError(f"unknown suite {name!r} (known: {known})")
+    with _trace.span("perfgate.suite", suite=name):
+        return builder()
+
+
+def _median_of_runs(
+    name: str, runs: int
+) -> Dict[str, MetricSample]:
+    """Per-metric medians over ``runs`` suite executions."""
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    samples: Dict[str, List[float]] = {}
+    kinds: Dict[str, str] = {}
+    for _ in range(runs):
+        for metric, (value, kind) in run_suite(name).items():
+            samples.setdefault(metric, []).append(value)
+            kinds[metric] = kind
+    return {
+        metric: (statistics.median(values), kinds[metric])
+        for metric, values in samples.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+@dataclass
+class Baseline:
+    """A committed measurement: suite medians plus provenance."""
+
+    suite: str
+    runs: int
+    created: str
+    git_sha: Optional[str]
+    fingerprint: Dict[str, object]
+    metrics: Dict[str, MetricSample]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form (schema :data:`BASELINE_SCHEMA`)."""
+        return {
+            "schema": BASELINE_SCHEMA,
+            "suite": self.suite,
+            "runs": self.runs,
+            "created": self.created,
+            "git_sha": self.git_sha,
+            "fingerprint": self.fingerprint,
+            "metrics": {
+                name: {"kind": kind, "value": value}
+                for name, (value, kind) in self.metrics.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Baseline":
+        """Inverse of :meth:`to_dict`."""
+        schema = payload.get("schema")
+        if schema != BASELINE_SCHEMA:
+            raise ValueError(
+                f"unsupported baseline schema {schema!r} "
+                f"(expected {BASELINE_SCHEMA})"
+            )
+        raw = payload.get("metrics", {})
+        return cls(
+            suite=str(payload["suite"]),
+            runs=int(payload.get("runs", 1)),
+            created=str(payload.get("created", "")),
+            git_sha=payload.get("git_sha"),  # type: ignore[arg-type]
+            fingerprint=dict(payload.get("fingerprint", {})),
+            metrics={
+                str(name): (
+                    float(entry["value"]), str(entry["kind"])
+                )
+                for name, entry in raw.items()
+            },
+        )
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def record_baseline(
+    suite: str, runs: int = 5, path: Optional[Path] = None
+) -> Baseline:
+    """Measure ``suite`` ``runs`` times and keep per-metric medians.
+
+    ``path`` additionally writes the baseline file (the committed
+    ``BENCH_<suite>.json``).
+    """
+    baseline = Baseline(
+        suite=suite,
+        runs=runs,
+        created=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        git_sha=git_sha(),
+        fingerprint=machine_fingerprint(),
+        metrics=_median_of_runs(suite, runs),
+    )
+    if path is not None:
+        baseline.save(path)
+    return baseline
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline written by :meth:`Baseline.save`."""
+    with open(path) as handle:
+        return Baseline.from_dict(json.load(handle))
+
+
+def default_baseline_path(
+    suite: str, root: Optional[Path] = None
+) -> Path:
+    """``<root>/BENCH_<suite>.json`` (root defaults to the cwd)."""
+    base = Path(root) if root is not None else Path.cwd()
+    return base / f"BENCH_{suite}.json"
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+@dataclass
+class GateEntry:
+    """One metric's baseline-vs-current verdict."""
+
+    name: str
+    kind: str
+    baseline_value: Optional[float]
+    current_value: Optional[float]
+    tolerance: float
+    status: str  # ok | drift | missing | new | skipped
+    note: str = ""
+
+    @property
+    def drifted(self) -> bool:
+        """Whether this entry fails the gate."""
+        return self.status in ("drift", "missing", "new")
+
+
+@dataclass
+class GateReport:
+    """The full verdict of one baseline-vs-current comparison."""
+
+    suite: str
+    fingerprint_match: bool
+    wall_tolerance: float
+    entries: List[GateEntry] = field(default_factory=list)
+
+    @property
+    def drifted(self) -> List[GateEntry]:
+        """Entries that fail the gate, in metric-name order."""
+        return [entry for entry in self.entries if entry.drifted]
+
+    @property
+    def passed(self) -> bool:
+        """``True`` when no metric drifted."""
+        return not self.drifted
+
+    def describe(self) -> str:
+        """Human-readable comparison table plus a PASS/FAIL verdict."""
+        lines = [
+            f"perf gate: suite {self.suite!r}"
+            + (
+                ""
+                if self.fingerprint_match
+                else "  (machine fingerprint differs: wall metrics "
+                "informational)"
+            ),
+            f"  {'metric':<36} {'kind':<6} {'baseline':>12} "
+            f"{'current':>12} {'status':>8}",
+        ]
+        for entry in self.entries:
+            baseline = (
+                "-" if entry.baseline_value is None
+                else f"{entry.baseline_value:.6g}"
+            )
+            current = (
+                "-" if entry.current_value is None
+                else f"{entry.current_value:.6g}"
+            )
+            line = (
+                f"  {entry.name:<36} {entry.kind:<6} {baseline:>12} "
+                f"{current:>12} {entry.status:>8}"
+            )
+            if entry.note:
+                line += f"  ({entry.note})"
+            lines.append(line)
+        verdict = "PASS" if self.passed else "FAIL"
+        drifted = ", ".join(e.name for e in self.drifted)
+        lines.append(
+            f"  -> {verdict}"
+            + (f": drifted metrics: {drifted}" if drifted else "")
+        )
+        return "\n".join(lines)
+
+
+def compare_to_baseline(
+    baseline: Baseline,
+    current: Dict[str, MetricSample],
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    strict_wall: bool = False,
+) -> GateReport:
+    """Judge ``current`` against ``baseline`` metric by metric.
+
+    Exact metrics drift on *any* difference.  Wall metrics drift when
+    they leave the ``wall_tolerance`` relative band, and are only
+    enforced on the recording machine (fingerprint match) unless
+    ``strict_wall``.  Metrics missing from either side fail: a vanished
+    metric hides a regression, a new one needs a re-recorded baseline.
+    """
+    match = machine_fingerprint() == baseline.fingerprint
+    report = GateReport(
+        suite=baseline.suite,
+        fingerprint_match=match,
+        wall_tolerance=wall_tolerance,
+    )
+    for name in sorted(set(baseline.metrics) | set(current)):
+        recorded = baseline.metrics.get(name)
+        measured = current.get(name)
+        if measured is None:
+            value, kind = recorded  # type: ignore[misc]
+            report.entries.append(
+                GateEntry(
+                    name=name,
+                    kind=kind,
+                    baseline_value=value,
+                    current_value=None,
+                    tolerance=0.0,
+                    status="missing",
+                    note="metric no longer measured",
+                )
+            )
+            continue
+        if recorded is None:
+            value, kind = measured
+            report.entries.append(
+                GateEntry(
+                    name=name,
+                    kind=kind,
+                    baseline_value=None,
+                    current_value=value,
+                    tolerance=0.0,
+                    status="new",
+                    note="not in baseline; re-record it",
+                )
+            )
+            continue
+        base_value, kind = recorded
+        cur_value, _ = measured
+        if kind == EXACT:
+            status = "ok" if cur_value == base_value else "drift"
+            report.entries.append(
+                GateEntry(
+                    name=name,
+                    kind=kind,
+                    baseline_value=base_value,
+                    current_value=cur_value,
+                    tolerance=0.0,
+                    status=status,
+                )
+            )
+            continue
+        if not match and not strict_wall:
+            report.entries.append(
+                GateEntry(
+                    name=name,
+                    kind=kind,
+                    baseline_value=base_value,
+                    current_value=cur_value,
+                    tolerance=wall_tolerance,
+                    status="skipped",
+                    note="fingerprint mismatch",
+                )
+            )
+            continue
+        band = wall_tolerance * abs(base_value)
+        status = (
+            "ok" if abs(cur_value - base_value) <= band else "drift"
+        )
+        report.entries.append(
+            GateEntry(
+                name=name,
+                kind=kind,
+                baseline_value=base_value,
+                current_value=cur_value,
+                tolerance=wall_tolerance,
+                status=status,
+            )
+        )
+    _metrics.add("perfgate.comparisons")
+    if report.drifted:
+        _metrics.add("perfgate.drifted_metrics", len(report.drifted))
+    return report
+
+
+def gate(
+    suite: str,
+    baseline_path: Path,
+    runs: int = 3,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    strict_wall: bool = False,
+) -> GateReport:
+    """Load the baseline, re-measure, and compare — the CI entry point."""
+    baseline = load_baseline(baseline_path)
+    if baseline.suite != suite:
+        raise ValueError(
+            f"baseline at {baseline_path} records suite "
+            f"{baseline.suite!r}, not {suite!r}"
+        )
+    current = _median_of_runs(suite, runs)
+    return compare_to_baseline(
+        baseline,
+        current,
+        wall_tolerance=wall_tolerance,
+        strict_wall=strict_wall,
+    )

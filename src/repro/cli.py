@@ -8,6 +8,11 @@ Installed as ``ifls`` (see pyproject) and runnable as
 * ``ifls query VENUE`` — run one synthetic IFLS query and print the
   answer, objective, and execution statistics (``--batch N
   --workers W`` answers a warm batch, sharded over ``W`` processes);
+* ``ifls explain VENUE`` — run one query under the EXPLAIN profiler
+  and print per-phase timings with exact counter attribution, the
+  Lemma 5.1 bound evolution, and the VIP-tree visit profile;
+* ``ifls perfgate`` — compare a bench suite against its committed
+  ``BENCH_<suite>.json`` baseline (``--record`` refreshes it);
 * ``ifls bench`` — regenerate the paper's tables and figures.
 """
 
@@ -168,6 +173,89 @@ def _run_query_batch(args: argparse.Namespace, venue, fe: int, fn: int) -> int:
     print()
     print(session.report().describe(per_query=args.session_stats))
     return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Profile one query and print/export its EXPLAIN report."""
+    from .obs.explain import write_explain_csv, write_explain_json
+
+    venue = venue_by_name(args.venue)
+    fe = args.existing if args.existing else default_fe(args.venue.upper())
+    fn = args.candidates if args.candidates else default_fn(
+        args.venue.upper()
+    )
+    clients, facilities = workload(
+        venue,
+        args.clients,
+        fe,
+        fn,
+        seed=args.seed,
+        distribution=args.distribution,
+        sigma=args.sigma,
+    )
+    engine = IFLSEngine(venue)
+    report = engine.explain(
+        clients,
+        facilities,
+        objective=args.objective,
+        algorithm=args.algorithm,
+        label=f"{venue.name} seed={args.seed}",
+        cold=True,
+        bound_limit=args.bound_samples,
+    )
+    print(report.describe(timings=not args.no_timings))
+    if args.json is not None:
+        write_explain_json(report, Path(args.json))
+        print(f"\njson:       report -> {args.json}")
+    if args.csv is not None:
+        rows = write_explain_csv(report, Path(args.csv))
+        print(f"csv:        {rows} phase rows -> {args.csv}")
+    return 0
+
+
+def _cmd_perfgate(args: argparse.Namespace) -> int:
+    """Record or enforce the perf-regression baselines."""
+    from .bench import regress
+
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline is not None
+        else regress.default_baseline_path(args.suite)
+    )
+    if args.record:
+        runs = args.runs if args.runs is not None else 5
+        baseline = regress.record_baseline(
+            args.suite, runs=runs, path=baseline_path
+        )
+        print(
+            f"recorded {len(baseline.metrics)} metrics "
+            f"(median of {runs}) to {baseline_path}"
+        )
+        return 0
+    if not baseline_path.is_file():
+        print(
+            f"perf gate: no baseline at {baseline_path}; record one "
+            "with --record",
+            file=sys.stderr,
+        )
+        return 1
+    runs = args.runs if args.runs is not None else 3
+    report = regress.gate(
+        args.suite,
+        baseline_path,
+        runs=runs,
+        wall_tolerance=args.wall_tolerance,
+        strict_wall=args.strict_wall,
+    )
+    text = report.describe()
+    print(text)
+    if args.out is not None:
+        out = Path(args.out)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"report:     -> {args.out}")
+    return 0 if report.passed else 1
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
@@ -370,6 +458,62 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a metrics CSV snapshot of the run "
                             "(see docs/OBSERVABILITY.md)")
     query.set_defaults(fn=_cmd_query)
+
+    explain = sub.add_parser(
+        "explain", help="profile one query with the EXPLAIN profiler"
+    )
+    explain.add_argument("venue", choices=[v for v in VENUE_NAMES]
+                         + [v.lower() for v in VENUE_NAMES])
+    explain.add_argument("--clients", type=int, default=500)
+    explain.add_argument("--existing", type=int, default=0,
+                         help="|Fe| (default: venue's Table-2 default)")
+    explain.add_argument("--candidates", type=int, default=0,
+                         help="|Fn| (default: venue's Table-2 default)")
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument("--distribution",
+                         choices=("uniform", "normal"),
+                         default="uniform")
+    explain.add_argument("--sigma", type=float, default=0.5)
+    explain.add_argument("--algorithm",
+                         choices=("efficient", "baseline"),
+                         default="efficient")
+    explain.add_argument("--objective",
+                         choices=("minmax", "mindist", "maxsum"),
+                         default="minmax")
+    explain.add_argument("--bound-samples", type=int, default=512,
+                         help="max Lemma 5.1 bound-evolution samples "
+                              "kept (ends always survive)")
+    explain.add_argument("--no-timings", action="store_true",
+                         help="omit wall times (byte-stable output)")
+    explain.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the report as JSON")
+    explain.add_argument("--csv", metavar="PATH", default=None,
+                         help="also write per-phase attribution CSV")
+    explain.set_defaults(fn=_cmd_explain)
+
+    perfgate = sub.add_parser(
+        "perfgate",
+        help="compare a bench suite against its committed baseline",
+    )
+    perfgate.add_argument("--suite", default="small",
+                          help="metric suite (default: small)")
+    perfgate.add_argument("--baseline", metavar="PATH", default=None,
+                          help="baseline file (default: "
+                               "BENCH_<suite>.json in the cwd)")
+    perfgate.add_argument("--record", action="store_true",
+                          help="re-measure and overwrite the baseline "
+                               "instead of gating")
+    perfgate.add_argument("--runs", type=int, default=None,
+                          help="median-of-N suite executions (default: "
+                               "5 recording, 3 gating)")
+    perfgate.add_argument("--wall-tolerance", type=float, default=0.5,
+                          help="relative band for wall-clock metrics")
+    perfgate.add_argument("--strict-wall", action="store_true",
+                          help="enforce wall metrics despite a machine-"
+                               "fingerprint mismatch")
+    perfgate.add_argument("--out", metavar="PATH", default=None,
+                          help="also write the comparison report here")
+    perfgate.set_defaults(fn=_cmd_perfgate)
 
     render = sub.add_parser("render", help="ASCII floor plan")
     render.add_argument("venue", choices=[v for v in VENUE_NAMES]

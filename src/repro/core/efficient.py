@@ -38,6 +38,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from ..errors import QueryError, UnreachableFacilityError
 from ..indoor.entities import Client, PartitionId
 from ..index.distance import VIPDistanceEngine
+from ..obs import profile as _profile
 from ..obs import trace as _trace
 from .problem import IFLSProblem
 from .result import IFLSResult, ResultStatus
@@ -134,6 +135,9 @@ class FacilityStream:
         self.existing = existing
         self.facilities = existing | candidates
         self.stats = stats if stats is not None else QueryStats()
+        # Fetched once per query: with profiling off this is None and
+        # the per-dequeue hook below is a single local test.
+        self._profiler = _profile.active()
         self._tie = itertools.count()
         self._queue: List[Tuple[float, int, int, int, int]] = []
         self._visited: List[Set[Tuple[int, int]]] = [
@@ -203,6 +207,10 @@ class FacilityStream:
             return key, records
 
         node = self.tree.node(ident)
+        if self._profiler is not None:
+            self._profiler.node_visit(
+                node.depth, len(node.access_doors)
+            )
         partition_id = group.partition_id
         if node.parent_id is not None:
             parent = self.tree.node(node.parent_id)
@@ -395,6 +403,7 @@ def _run(
 ) -> IFLSResult:
     engine = problem.engine
     before = engine.stats.snapshot()
+    profiler = _profile.active()
     groups = make_groups(problem, options.group_by_partition)
     state = _MinMaxState(problem.clients)
     stream = FacilityStream(
@@ -418,6 +427,10 @@ def _run(
             group.prune(client_id)
 
     def finish(answer: Optional[PartitionId], objective: float):
+        if profiler is not None:
+            profiler.bound_step(
+                state.dlow, state.kept_count, len(state.pruned)
+            )
         stats.clients_pruned = len(state.pruned)
         stats.candidate_answers_considered = len(state.cover_count)
         _merge_engine_stats(engine, before, stats)
@@ -442,6 +455,8 @@ def _run(
 
         is_first = state.update_first(0.0)
         outcome = _drain(state, 0.0, is_first, remove_from_group)
+    if profiler is not None:
+        profiler.bound_step(0.0, state.kept_count, len(state.pruned))
     if outcome is not None:
         return finish(*outcome)
 
@@ -459,6 +474,10 @@ def _run(
             if not is_first:
                 is_first = state.update_first(gd)
             outcome = _drain(state, gd, is_first, remove_from_group)
+            if profiler is not None:
+                profiler.bound_step(
+                    gd, state.kept_count, len(state.pruned)
+                )
             if outcome is not None:
                 return finish(*outcome)
 

@@ -27,6 +27,7 @@ import tracemalloc
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..indoor.entities import PartitionId
+from ..obs import profile as _profile
 from ..obs import trace as _trace
 from .efficient import (
     EfficientOptions,
@@ -185,6 +186,7 @@ def efficient_maxsum(
 def _run(
     problem: IFLSProblem, options: EfficientOptions, stats: QueryStats
 ) -> IFLSResult:
+    profiler = _profile.active()
     groups = make_groups(problem, options.group_by_partition)
     state = _MaxSumState(problem)
     stream = FacilityStream(
@@ -223,6 +225,10 @@ def _run(
         state.advance(0.0)
         settle_prune()
         answer = state.check_answer()
+    if profiler is not None:
+        profiler.bound_step(
+            0.0, len(state.unsettled), len(state.settled_de)
+        )
 
     with _trace.span("ea.stream", stats=problem.engine.stats):
         while answer is None:
@@ -237,6 +243,10 @@ def _run(
             state.advance(gd)
             settle_prune()
             answer = state.check_answer()
+            if profiler is not None:
+                profiler.bound_step(
+                    gd, len(state.unsettled), len(state.settled_de)
+                )
 
         if answer is None:
             # Queue exhausted: every surviving pair is now decidable.
@@ -246,6 +256,12 @@ def _run(
             for client_id in list(state.unsettled):
                 state._settle(client_id, float("inf"))
             answer = state.check_answer()
+            if profiler is not None:
+                profiler.bound_step(
+                    float("inf"),
+                    len(state.unsettled),
+                    len(state.settled_de),
+                )
     stats.clients_pruned = len(state.settled_de)
     stats.candidate_answers_considered = len(state.candidates)
     if answer is None:

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import UnreachableFacilityError
 from ..indoor.entities import PartitionId
+from ..obs import profile as _profile
 from ..obs import trace as _trace
 from .efficient import (
     EfficientOptions,
@@ -217,6 +218,7 @@ def efficient_mindist(
 def _run(
     problem: IFLSProblem, options: EfficientOptions, stats: QueryStats
 ) -> IFLSResult:
+    profiler = _profile.active()
     groups = make_groups(problem, options.group_by_partition)
     state = _MinDistState(problem)
     stream = FacilityStream(
@@ -255,6 +257,10 @@ def _run(
         state.advance(0.0)
         settle_prune()
         answer = state.check_answer(0.0)
+    if profiler is not None:
+        profiler.bound_step(
+            0.0, len(state.unsettled), len(state.settled_de)
+        )
 
     with _trace.span("ea.stream", stats=problem.engine.stats):
         gd = 0.0
@@ -270,11 +276,21 @@ def _run(
             state.advance(gd)
             settle_prune()
             answer = state.check_answer(gd)
+            if profiler is not None:
+                profiler.bound_step(
+                    gd, len(state.unsettled), len(state.settled_de)
+                )
 
         if answer is None:
             # Queue exhausted: all retrieved; every term becomes exact.
             state.advance(INFINITY)
             answer = state.check_answer(INFINITY)
+            if profiler is not None:
+                profiler.bound_step(
+                    INFINITY,
+                    len(state.unsettled),
+                    len(state.settled_de),
+                )
     stats.clients_pruned = len(state.settled_de)
     stats.candidate_answers_considered = len(state.alive)
     if answer is None:

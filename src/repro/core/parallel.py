@@ -66,6 +66,7 @@ from ..indoor.venue import IndoorVenue
 from ..index.viptree import VIPTree
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from ..obs.explain import ExplainReport
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import SpanRecord, Tracer
 from .queries import IFLSEngine
@@ -147,7 +148,10 @@ class ShardOutcome:
     the worker's finished spans (absorbed into the parent tracer on
     reassembly, tagged with the worker pid) and ``metrics_snapshot``
     the worker registry's image (folded into the parent registry with
-    the documented merge semantics).
+    the documented merge semantics).  ``explain_reports`` carries one
+    :class:`~repro.obs.explain.ExplainReport` per shard query when the
+    batch ran in explain mode, already rewritten to 1-based submission
+    indices like ``records``.
     """
 
     indices: List[int]
@@ -160,6 +164,7 @@ class ShardOutcome:
     records: List[SessionQueryRecord] = field(default_factory=list)
     trace_records: List[SpanRecord] = field(default_factory=list)
     metrics_snapshot: Optional[Dict] = None
+    explain_reports: List[ExplainReport] = field(default_factory=list)
 
 
 @dataclass
@@ -171,6 +176,9 @@ class ParallelBatchOutcome:
     per-worker memos, i.e. the pool's combined footprint, which is
     larger than one shared cache would be).  ``query_stats`` merges the
     per-result :class:`QueryStats` for queue/pruning invariants.
+    ``explain_reports`` holds one per-query
+    :class:`~repro.obs.explain.ExplainReport` in submission order when
+    the batch ran with ``explain=True`` (empty otherwise).
     """
 
     results: List[IFLSResult]
@@ -179,6 +187,7 @@ class ParallelBatchOutcome:
     workers: int
     start_method: str
     elapsed_seconds: float
+    explain_reports: List[ExplainReport] = field(default_factory=list)
 
     @property
     def answers(self) -> List[Tuple[Optional[int], float]]:
@@ -236,6 +245,7 @@ def _run_shard(
     submitted_at: Optional[float] = None,
     observe_trace: bool = False,
     observe_metrics: bool = False,
+    observe_explain: bool = False,
 ) -> ShardOutcome:
     """Answer one shard on this worker's warm session.
 
@@ -244,10 +254,13 @@ def _run_shard(
     merged report reads like one serial session.  When the parent had
     collectors active it sets the ``observe_*`` flags: the shard then
     runs under a fresh per-shard tracer/registry whose records travel
-    back in the :class:`ShardOutcome`.  ``submitted_at`` is the
-    parent's ``time.time()`` at submission — queue wait is measured on
-    the wall clock because monotonic clocks do not compare across
-    processes (documented approximate).
+    back in the :class:`ShardOutcome`.  ``observe_explain`` flips the
+    worker session into explain mode for this shard, shipping the
+    per-query :class:`~repro.obs.explain.ExplainReport` list home with
+    rewritten submission indices.  ``submitted_at`` is the parent's
+    ``time.time()`` at submission — queue wait is measured on the wall
+    clock because monotonic clocks do not compare across processes
+    (documented approximate).
     """
     session = _WORKER_SESSION
     if session is None:  # pragma: no cover - defensive
@@ -256,6 +269,9 @@ def _run_shard(
     registry = MetricsRegistry() if observe_metrics else None
     before = session.distances.stats.snapshot()
     records_start = len(session.records)
+    explain_was = session.explain
+    explain_start = len(session.explain_reports)
+    session.explain = observe_explain
     results: List[IFLSResult] = []
     indices: List[int] = []
     with ExitStack() as stack:
@@ -286,6 +302,7 @@ def _run_shard(
             "parallel.shard.seconds",
             time.perf_counter() - shard_started,
         )
+    session.explain = explain_was
     after = session.distances.stats.snapshot()
     totals = {
         key: value - before.get(key, 0) for key, value in after.items()
@@ -293,6 +310,9 @@ def _run_shard(
     records = list(session.records[records_start:])
     for record, index in zip(records, indices):
         record.index = index + 1
+    explain_reports = list(session.explain_reports[explain_start:])
+    for report, index in zip(explain_reports, indices):
+        report.index = index + 1
     return ShardOutcome(
         indices=indices,
         results=results,
@@ -308,6 +328,7 @@ def _run_shard(
         metrics_snapshot=(
             registry.snapshot() if registry is not None else None
         ),
+        explain_reports=explain_reports,
     )
 
 
@@ -396,6 +417,7 @@ def _run_serial(
     batch: Sequence[BatchQuery],
     max_cache_entries: Optional[int],
     keep_records: bool,
+    explain: bool = False,
 ) -> ParallelBatchOutcome:
     """The ``workers=1`` path: one in-process warm session.
 
@@ -407,6 +429,7 @@ def _run_serial(
         engine,
         max_cache_entries=max_cache_entries,
         keep_records=keep_records,
+        explain=explain,
     )
     started = time.perf_counter()
     results = session.run(batch)
@@ -418,6 +441,7 @@ def _run_serial(
         workers=1,
         start_method="serial",
         elapsed_seconds=elapsed,
+        explain_reports=list(session.explain_reports),
     )
 
 
@@ -428,6 +452,7 @@ def run_batch_parallel(
     max_cache_entries: Optional[int] = None,
     keep_records: bool = True,
     start_method: Optional[str] = None,
+    explain: bool = False,
 ) -> ParallelBatchOutcome:
     """Answer ``batch`` on ``workers`` processes sharing one index.
 
@@ -446,6 +471,10 @@ def run_batch_parallel(
     start_method:
         ``"fork"``, ``"spawn"``, or ``None`` for the platform default
         (fork where available).
+    explain:
+        Profile every query in the workers and collect the per-query
+        :class:`~repro.obs.explain.ExplainReport` list (submission
+        order) into ``outcome.explain_reports``.
 
     Raises
     ------
@@ -466,7 +495,9 @@ def run_batch_parallel(
     if workers < 1:
         raise ParallelExecutionError(f"workers must be >= 1, got {workers}")
     if workers == 1:
-        return _run_serial(engine, batch, max_cache_entries, keep_records)
+        return _run_serial(
+            engine, batch, max_cache_entries, keep_records, explain
+        )
 
     observe_trace = _trace.active() is not None
     observe_metrics = _metrics.active() is not None
@@ -506,6 +537,7 @@ def run_batch_parallel(
                             time.time(),
                             observe_trace,
                             observe_metrics,
+                            explain,
                         ),
                     )
                     for number, shard in enumerate(shards)
@@ -558,6 +590,14 @@ def run_batch_parallel(
                 outcomes, len(batch), max_cache_entries
             )
             query_stats = merge_query_stats(r.stats for r in results)
+            explain_reports = sorted(
+                (
+                    explained
+                    for outcome in outcomes
+                    for explained in outcome.explain_reports
+                ),
+                key=lambda explained: explained.index or 0,
+            )
         _metrics.record(
             "parallel.merge.seconds",
             time.perf_counter() - merge_started,
@@ -572,4 +612,5 @@ def run_batch_parallel(
         workers=len(shards),
         start_method=method,
         elapsed_seconds=elapsed,
+        explain_reports=explain_reports,
     )

@@ -13,7 +13,11 @@ This is the main entry point of the library::
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.explain import ExplainReport
+    from .session import QuerySession
 
 from ..errors import QueryError
 from ..indoor.entities import Client, FacilitySets, PartitionId
@@ -163,16 +167,113 @@ class IFLSEngine:
         }
         return dispatch[objective](problem, options)
 
+    def explain(
+        self,
+        clients: Sequence[Client],
+        facilities: FacilitySets,
+        objective: str = MINMAX,
+        algorithm: str = EFFICIENT,
+        options: Optional[EfficientOptions] = None,
+        label: str = "",
+        cold: bool = False,
+        bound_limit: int = 512,
+    ) -> "ExplainReport":
+        """Answer one query under the EXPLAIN profiler.
+
+        Runs the query exactly like :meth:`query` but with a private
+        tracer and a :class:`~repro.obs.profile.ProfileCollector`
+        installed, and returns a structured
+        :class:`~repro.obs.explain.ExplainReport`: per-phase wall time
+        with exact counter attribution, the Lemma 5.1 bound evolution,
+        per-level VIP-tree visit counts, and the cache breakdown.  The
+        result itself is discarded — re-run :meth:`query` for it; the
+        report carries the answer/objective/status triple.
+
+        ``algorithm`` accepts ``"efficient"`` and ``"baseline"`` (the
+        brute-force oracle has no phase structure worth explaining).
+        ``cold=True`` profiles on a fresh distance engine so repeated
+        explains are reproducible; the default shares this engine's
+        warm caches, like :meth:`query`.  ``bound_limit`` caps the
+        recorded bound-evolution samples (the ends always survive).
+
+        If a tracer is globally active (e.g. :func:`repro.obs.observe`)
+        the profiled spans are absorbed into it afterwards, so EXPLAIN
+        composes with ambient tracing.
+        """
+        from ..obs import profile as _profile
+        from ..obs import trace as _trace
+        from ..obs.explain import build_report
+        from ..obs.profile import ProfileCollector
+        from ..obs.trace import Tracer
+
+        if objective not in _OBJECTIVES:
+            raise QueryError(f"unknown objective {objective!r}")
+        if algorithm not in (EFFICIENT, BASELINE):
+            raise QueryError(
+                "explain supports the efficient and baseline "
+                f"algorithms, not {algorithm!r}"
+            )
+        if algorithm == BASELINE and objective != MINMAX:
+            raise QueryError(
+                "the modified MinMax baseline only supports the "
+                "minmax objective (paper Section 4)"
+            )
+        distances = self.distances
+        if cold:
+            distances = VIPDistanceEngine(
+                self.tree, memoize=algorithm != BASELINE
+            )
+        problem = self.problem(clients, facilities, distances=distances)
+        collector = ProfileCollector(bound_limit=bound_limit)
+        tracer = Tracer()
+        outer = _trace.active()
+        before = distances.stats.snapshot()
+        with _trace.use(tracer), _profile.use(collector):
+            with _trace.span(
+                "explain.query",
+                stats=distances.stats,
+                objective=objective,
+                algorithm=algorithm,
+            ):
+                if algorithm == BASELINE:
+                    result = modified_minmax(problem)
+                else:
+                    dispatch = {
+                        MINMAX: efficient_minmax,
+                        MINDIST: efficient_mindist,
+                        MAXSUM: efficient_maxsum,
+                    }
+                    result = dispatch[objective](problem, options)
+        if outer is not None:
+            outer.absorb(tracer.sorted_records())
+        after = distances.stats.snapshot()
+        totals = {
+            key: value - before.get(key, 0)
+            for key, value in after.items()
+        }
+        return build_report(
+            tracer.sorted_records(),
+            collector,
+            totals,
+            result,
+            label=label,
+            objective=objective,
+            algorithm=algorithm,
+        )
+
     def session(
         self,
         max_cache_entries: Optional[int] = None,
         keep_records: bool = True,
+        explain: bool = False,
     ) -> "QuerySession":
         """Open a batch-execution session sharing this engine's tree.
 
         The session answers query sequences on its own persistent
         distance engine, keeping the ``iMinD`` caches warm across
-        queries — see :mod:`repro.core.session`.
+        queries — see :mod:`repro.core.session`.  ``explain=True``
+        additionally profiles every query into
+        ``session.explain_reports``.
         """
         from .session import QuerySession
 
@@ -180,6 +281,7 @@ class IFLSEngine:
             self,
             max_cache_entries=max_cache_entries,
             keep_records=keep_records,
+            explain=explain,
         )
 
     # Convenience wrappers -------------------------------------------------

@@ -40,8 +40,11 @@ from ..errors import QueryError
 from ..indoor.entities import Client, FacilitySets, PartitionId
 from ..index.distance import VIPDistanceEngine
 from ..obs import metrics as _metrics
+from ..obs import profile as _profile
 from ..obs import trace as _trace
+from ..obs.explain import ExplainReport, build_report
 from ..obs.metrics import MetricsRegistry
+from ..obs.profile import ProfileCollector
 from ..obs.trace import Tracer
 from .efficient import EfficientOptions, efficient_minmax
 from .maxsum import efficient_maxsum
@@ -214,6 +217,14 @@ class QuerySession:
         metrics.  Leaving both ``None`` keeps whatever collectors are
         (or are not) globally active — the default is fully
         uninstrumented execution.
+    explain:
+        Profile every query through the EXPLAIN profiler: each
+        :meth:`query` (and each query of a sharded :meth:`run`)
+        appends an :class:`~repro.obs.explain.ExplainReport` to
+        ``explain_reports``, carrying per-phase counter attribution,
+        the Lemma 5.1 bound evolution, VIP-tree visit counts, and the
+        warm-cache breakdown.  When a ``trace`` tracer is also given,
+        the profiled spans are absorbed into it afterwards.
     """
 
     def __init__(
@@ -223,6 +234,7 @@ class QuerySession:
         keep_records: bool = True,
         trace: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        explain: bool = False,
     ) -> None:
         self.engine = engine
         self.tree = engine.tree
@@ -234,6 +246,8 @@ class QuerySession:
         self.queries_answered = 0
         self.tracer = trace
         self.metrics = metrics
+        self.explain = explain
+        self.explain_reports: List[ExplainReport] = []
 
     @contextmanager
     def _observing(self) -> Iterator[None]:
@@ -270,7 +284,13 @@ class QuerySession:
             with _trace.span(
                 "session.query", objective=objective, label=label
             ):
-                result = solver(problem, options)
+                if self.explain:
+                    result = self._explained_solve(
+                        solver, problem, options, before,
+                        objective, label,
+                    )
+                else:
+                    result = solver(problem, options)
             _metrics.set_gauge(
                 "cache.entries", self.distances.cache_entries()
             )
@@ -295,6 +315,55 @@ class QuerySession:
                     cache_entries_after=self.distances.cache_entries(),
                 )
             )
+        return result
+
+    def _explained_solve(
+        self,
+        solver,
+        problem: IFLSProblem,
+        options: Optional[EfficientOptions],
+        before: Dict[str, int],
+        objective: str,
+        label: str,
+    ) -> IFLSResult:
+        """Run one solver call under the EXPLAIN profiler.
+
+        A private tracer and profile collector observe the solve; the
+        resulting report lands in ``explain_reports`` and the profiled
+        spans are absorbed into whatever tracer is currently active
+        (the session's, or an ambient one), parented under the open
+        ``session.query`` span.
+        """
+        collector = ProfileCollector()
+        tracer = Tracer()
+        with _trace.use(tracer), _profile.use(collector):
+            with _trace.span(
+                "explain.query",
+                stats=self.distances.stats,
+                objective=objective,
+                label=label,
+            ):
+                result = solver(problem, options)
+        ambient = _trace.active()
+        if ambient is not None:
+            ambient.absorb(tracer.sorted_records())
+        after = self.distances.stats.snapshot()
+        totals = {
+            key: value - before.get(key, 0)
+            for key, value in after.items()
+        }
+        report = build_report(
+            tracer.sorted_records(),
+            collector,
+            totals,
+            result,
+            label=label,
+            objective=objective,
+            algorithm="efficient",
+            cache_entries=self.distances.cache_entries(),
+        )
+        report.index = self.queries_answered + 1
+        self.explain_reports.append(report)
         return result
 
     def run(
@@ -339,11 +408,16 @@ class QuerySession:
                 workers,
                 max_cache_entries=self.distances.max_cache_entries,
                 keep_records=self.keep_records,
+                explain=self.explain,
             )
         base = self.queries_answered
         for record in outcome.report.records:
             record.index += base
             self.records.append(record)
+        for report in outcome.explain_reports:
+            if report.index is not None:
+                report.index += base
+            self.explain_reports.append(report)
         self.queries_answered += len(batch)
         self.distances.stats.merge(DistanceStats(**outcome.report.totals))
         return outcome.results

@@ -29,16 +29,23 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional, Tuple
 
-from . import contract, exporters, metrics, trace
+from . import contract, exporters, explain, metrics, profile, trace
+from .explain import ExplainPhase, ExplainReport
 from .metrics import MetricsRegistry
+from .profile import ProfileCollector
 from .trace import SpanRecord, Tracer
 
 __all__ = [
     "contract",
+    "explain",
     "exporters",
     "metrics",
+    "profile",
     "trace",
+    "ExplainPhase",
+    "ExplainReport",
     "MetricsRegistry",
+    "ProfileCollector",
     "SpanRecord",
     "Tracer",
     "observe",

@@ -127,6 +127,17 @@ SPANS: Dict[str, SpanSpec] = _spans(
         "child of parallel.run: result reassembly and counter/metric "
         "merging after all shards returned",
     ),
+    SpanSpec(
+        "explain.query",
+        "once per EXPLAIN-profiled query (engine.explain, an "
+        "explain-mode session query, or ifls explain); wraps the "
+        "solver span and anchors the report's counter attribution",
+    ),
+    SpanSpec(
+        "perfgate.suite",
+        "once per perf-gate suite execution (baseline recording or "
+        "comparison run)",
+    ),
 )
 
 
@@ -195,5 +206,17 @@ METRICS: Dict[str, MetricSpec] = _metrics(
     MetricSpec(
         "parallel.merge.seconds", "histogram", "seconds",
         "per-batch result reassembly and statistics merge time",
+    ),
+    MetricSpec(
+        "explain.reports", "counter", "reports",
+        "every ExplainReport built by the EXPLAIN profiler",
+    ),
+    MetricSpec(
+        "perfgate.comparisons", "counter", "comparisons",
+        "every baseline-vs-current perf-gate comparison",
+    ),
+    MetricSpec(
+        "perfgate.drifted_metrics", "counter", "metrics",
+        "metrics flagged outside tolerance by a perf-gate comparison",
     ),
 )

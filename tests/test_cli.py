@@ -244,3 +244,129 @@ class TestObservabilityFlags:
         assert main(["query", "CPH", "--clients", "20"]) == 0
         assert trace_module.active() is None
         assert metrics_module.active() is None
+
+
+class TestExplainCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["explain", "CPH"])
+        assert args.clients == 500
+        assert args.algorithm == "efficient"
+        assert args.objective == "minmax"
+        assert args.bound_samples == 512
+        assert args.json is None and args.csv is None
+
+    def test_explain_prints_report_sections(self, capsys):
+        assert main([
+            "explain", "CPH", "--clients", "40", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN  efficient/minmax" in out
+        assert "answer:" in out
+        assert "Lemma 5.1 bound evolution" in out
+        assert "VIP-tree visits by level" in out
+        assert "distance ledger (phase-attributed)" in out
+        assert "time:" in out  # timings on by default
+
+    def test_explain_no_timings(self, capsys):
+        assert main([
+            "explain", "CPH", "--clients", "30", "--no-timings",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "time:" not in out
+        assert "phases" in out
+
+    def test_explain_baseline_and_objective_flags(self, capsys):
+        assert main([
+            "explain", "CPH", "--clients", "30",
+            "--algorithm", "baseline",
+        ]) == 0
+        assert "baseline/minmax" in capsys.readouterr().out
+        assert main([
+            "explain", "CPH", "--clients", "30",
+            "--objective", "mindist",
+        ]) == 0
+        assert "efficient/mindist" in capsys.readouterr().out
+
+    def test_explain_exports_json_and_csv(self, capsys, tmp_path):
+        from repro.obs.explain import (
+            read_explain_csv,
+            read_explain_json,
+        )
+
+        json_path = tmp_path / "report.json"
+        csv_path = tmp_path / "report.csv"
+        assert main([
+            "explain", "CPH", "--clients", "30", "--seed", "7",
+            "--json", str(json_path), "--csv", str(csv_path),
+        ]) == 0
+        report = read_explain_json(json_path)
+        assert report.label == "copenhagen-airport seed=7"
+        assert report.clients_total == 30
+        rows = read_explain_csv(csv_path)
+        assert len(rows) == len(report.phases)
+        out = capsys.readouterr().out
+        assert "json:" in out and "csv:" in out
+
+
+class TestPerfgateCommand:
+    @staticmethod
+    def _tiny_suite(monkeypatch):
+        from repro.bench import regress
+
+        def build():
+            return {
+                "tiny.counter": (42.0, regress.EXACT),
+                "tiny.seconds": (0.5, regress.WALL),
+            }
+
+        monkeypatch.setitem(regress.SUITES, "tiny", build)
+
+    def test_record_then_gate_passes(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        self._tiny_suite(monkeypatch)
+        baseline = tmp_path / "BENCH_tiny.json"
+        assert main([
+            "perfgate", "--suite", "tiny",
+            "--baseline", str(baseline), "--record", "--runs", "1",
+        ]) == 0
+        assert "recorded 2 metrics" in capsys.readouterr().out
+        assert baseline.is_file()
+        assert main([
+            "perfgate", "--suite", "tiny",
+            "--baseline", str(baseline), "--runs", "1",
+        ]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_missing_baseline_fails_with_hint(self, capsys, tmp_path):
+        assert main([
+            "perfgate", "--suite", "small",
+            "--baseline", str(tmp_path / "absent.json"),
+        ]) == 1
+        assert "--record" in capsys.readouterr().err
+
+    def test_perturbed_baseline_fails_naming_metric(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json as json_module
+
+        self._tiny_suite(monkeypatch)
+        baseline = tmp_path / "BENCH_tiny.json"
+        assert main([
+            "perfgate", "--suite", "tiny",
+            "--baseline", str(baseline), "--record", "--runs", "1",
+        ]) == 0
+        capsys.readouterr()
+        payload = json_module.loads(baseline.read_text())
+        payload["metrics"]["tiny.counter"]["value"] = 41.0
+        baseline.write_text(json_module.dumps(payload))
+        out_path = tmp_path / "gate.txt"
+        assert main([
+            "perfgate", "--suite", "tiny",
+            "--baseline", str(baseline), "--runs", "1",
+            "--out", str(out_path),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "tiny.counter" in out
+        assert "tiny.counter" in out_path.read_text()

@@ -20,7 +20,10 @@ asserts the structural invariants of :class:`QueryStats` /
 * session totals equal the sum of the per-query deltas;
 * a sharded parallel run returns the serial answers, and its merged
   per-worker totals both satisfy the ledger identities and equal the
-  sum of the merged per-query records.
+  sum of the merged per-query records;
+* EXPLAIN attribution: for every objective (and the baseline), the
+  per-phase *own* counter deltas of ``engine.explain(...)`` sum
+  exactly to the query's top-level :class:`DistanceStats` ledger.
 
 Exit code 0 when clean, 1 with one line per violation — cheap enough
 to run in tier-1 tests (see ``tests/test_tools.py``), so any future
@@ -217,6 +220,31 @@ def run_checks() -> List[str]:
             f"{merged_query.queue_pops} > queue_pushes "
             f"{merged_query.queue_pushes}"
         )
+
+    # EXPLAIN attribution: per-phase own deltas == top-level ledger.
+    explain_cases = [
+        (f"explain/{objective}", objective, "efficient")
+        for objective in ("minmax", "mindist", "maxsum")
+    ] + [("explain/baseline", "minmax", "baseline")]
+    for label, objective, algorithm in explain_cases:
+        report = engine.explain(
+            clients,
+            facilities,
+            objective=objective,
+            algorithm=algorithm,
+            cold=True,
+        )
+        attributed = report.attributed_counters()
+        ledger = {
+            key: value
+            for key, value in report.distance_totals.items()
+            if value
+        }
+        if attributed != ledger:
+            violations.append(
+                f"{label}: phase-attributed counters do not sum to "
+                f"the query ledger ({attributed} != {ledger})"
+            )
     return violations
 
 

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Continuous perf-regression gate over the committed bench baselines.
+
+Thin command-line front end of :mod:`repro.bench.regress`: re-runs a
+metric suite, compares it against the committed ``BENCH_<suite>.json``
+baseline at the repository root, and exits non-zero naming every
+drifted metric.  Exact counters get zero tolerance; wall-clock metrics
+get a relative band and are only enforced on the machine that recorded
+the baseline (pass ``--strict-wall`` to force them, e.g. on a
+dedicated perf box).
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_gate.py --suite small
+    PYTHONPATH=src python tools/perf_gate.py --suite small --record
+    PYTHONPATH=src python tools/perf_gate.py --suite small \
+        --out report.txt
+
+``--record`` re-measures and overwrites the baseline instead of
+gating — run it (and commit the result) whenever an intentional
+algorithm change moves an exact counter.  The same gate is wired as
+``ifls perfgate`` and as the ``perf-gate`` CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+
+if __name__ == "__main__":  # allow running from a source checkout
+    _src = _REPO / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.bench import regress  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare a bench suite against its committed "
+        "baseline (exact counters: zero tolerance; wall time: "
+        "relative band)"
+    )
+    parser.add_argument(
+        "--suite",
+        default="small",
+        choices=sorted(regress.SUITES),
+        help="metric suite to run (default: small)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: BENCH_<suite>.json at the "
+        "repository root)",
+    )
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="re-measure and overwrite the baseline instead of gating",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        help="suite executions to take the median of "
+        "(default: 5 when recording, 3 when gating)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=regress.DEFAULT_WALL_TOLERANCE,
+        help="relative band for wall-clock metrics "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--strict-wall",
+        action="store_true",
+        help="enforce wall metrics even on a machine whose "
+        "fingerprint differs from the baseline's",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the comparison report to this file",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = regress.default_baseline_path(
+            args.suite, root=_REPO
+        )
+
+    if args.record:
+        runs = args.runs if args.runs is not None else 5
+        baseline = regress.record_baseline(
+            args.suite, runs=runs, path=baseline_path
+        )
+        print(
+            f"recorded {len(baseline.metrics)} metrics "
+            f"(median of {runs}) to {baseline_path}"
+        )
+        return 0
+
+    if not baseline_path.is_file():
+        print(
+            f"perf gate: no baseline at {baseline_path}; record one "
+            "with --record",
+            file=sys.stderr,
+        )
+        return 1
+    runs = args.runs if args.runs is not None else 3
+    report = regress.gate(
+        args.suite,
+        baseline_path,
+        runs=runs,
+        wall_tolerance=args.wall_tolerance,
+        strict_wall=args.strict_wall,
+    )
+    text = report.describe()
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
