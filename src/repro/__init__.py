@@ -86,7 +86,7 @@ from .obs import (
     observe,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BASELINE",

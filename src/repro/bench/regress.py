@@ -72,12 +72,28 @@ MetricSample = Tuple[float, str]
 
 
 def machine_fingerprint() -> Dict[str, object]:
-    """Identify the measuring machine (decides wall enforcement)."""
+    """Identify the measuring machine (decides wall enforcement).
+
+    Includes the numpy version (or ``None`` when absent) and whether
+    the array kernels resolve enabled, because the kernel fast path
+    makes wall times — and the exact memo-traffic ledger — depend on
+    whether and how queries were vectorised.
+    """
+    from ..index import kernels as _kernels
+
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy present in dev env
+        numpy_version = None
+    else:
+        numpy_version = numpy.__version__
     return {
         "platform": platform.platform(),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count() or 0,
+        "numpy": numpy_version,
+        "kernels": _kernels.default_enabled(),
     }
 
 

@@ -57,6 +57,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _query_engine(args: argparse.Namespace, venue) -> IFLSEngine:
+    """Engine honouring ``--no-kernels`` (else the process default)."""
+    use_kernels = False if getattr(args, "no_kernels", False) else None
+    return IFLSEngine(venue, use_kernels=use_kernels)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     if args.trace is None and args.metrics is None:
         return _cmd_query_inner(args)
@@ -91,7 +97,7 @@ def _cmd_query_inner(args: argparse.Namespace) -> int:
         distribution=args.distribution,
         sigma=args.sigma,
     )
-    engine = IFLSEngine(venue)
+    engine = _query_engine(args, venue)
     started = time.perf_counter()
     result = engine.query(
         clients,
@@ -104,7 +110,8 @@ def _cmd_query_inner(args: argparse.Namespace) -> int:
     print(f"venue:      {venue.name} ({venue.partition_count} partitions)")
     print(f"workload:   |C|={len(clients)} |Fe|={fe} |Fn|={fn} "
           f"seed={args.seed} dist={args.distribution}")
-    print(f"algorithm:  {args.algorithm} / {args.objective}")
+    print(f"algorithm:  {args.algorithm} / {args.objective} "
+          f"(kernels {'on' if engine.use_kernels else 'off'})")
     print(f"answer:     partition {result.answer} ({result.status})")
     print(f"objective:  {result.objective:.4f}")
     print(f"time:       {elapsed:.3f}s")
@@ -132,7 +139,7 @@ def _run_query_batch(args: argparse.Namespace, venue, fe: int, fn: int) -> int:
     if args.workers < 1:
         print(f"--workers must be >= 1 (got {args.workers})")
         return 2
-    engine = IFLSEngine(venue)
+    engine = _query_engine(args, venue)
     session = engine.session(max_cache_entries=args.cache_budget)
     batch = []
     for i in range(args.batch):
@@ -193,7 +200,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         distribution=args.distribution,
         sigma=args.sigma,
     )
-    engine = IFLSEngine(venue)
+    engine = _query_engine(args, venue)
     report = engine.explain(
         clients,
         facilities,
@@ -457,6 +464,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--metrics", metavar="PATH", default=None,
                        help="write a metrics CSV snapshot of the run "
                             "(see docs/OBSERVABILITY.md)")
+    query.add_argument("--no-kernels", action="store_true",
+                       help="force the scalar distance path (the "
+                            "dense-array kernel oracle; default "
+                            "follows numpy availability and "
+                            "IFLS_USE_KERNELS)")
     query.set_defaults(fn=_cmd_query)
 
     explain = sub.add_parser(
@@ -489,6 +501,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the report as JSON")
     explain.add_argument("--csv", metavar="PATH", default=None,
                          help="also write per-phase attribution CSV")
+    explain.add_argument("--no-kernels", action="store_true",
+                         help="force the scalar distance path (the "
+                              "dense-array kernel oracle; default "
+                              "follows numpy availability and "
+                              "IFLS_USE_KERNELS)")
     explain.set_defaults(fn=_cmd_explain)
 
     perfgate = sub.add_parser(

@@ -73,12 +73,19 @@ class EfficientOptions:
         optimisation removes;
     ``traversal=TOP_DOWN``
         seeds each traversal at the root instead of the client's leaf.
+    ``use_kernels``
+        forces the array-kernel facility retrieval on (``True``) or off
+        (``False``) for this query; ``None`` follows the distance
+        engine's ``use_kernels`` setting.  Answers are bit-identical
+        either way — ``False`` is the scalar oracle the kernel tests
+        compare against.
     """
 
     prune_clients: bool = True
     group_by_partition: bool = True
     traversal: str = BOTTOM_UP
     measure_memory: bool = False
+    use_kernels: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.traversal not in (BOTTOM_UP, TOP_DOWN):
@@ -99,10 +106,18 @@ class _Group:
     partition_id: PartitionId
     clients: List[Client]
     pruned: Set[int] = field(default_factory=set)
+    # Array-laid client state (offsets, active mask), attached lazily
+    # by FacilityStream when the kernel path is on; None otherwise.
+    # Single-exit-door groups never get arrays — they stay on the
+    # dedicated no-arrays lane (single_exit memoises that check).
+    arrays: Optional[object] = None
+    single_exit: Optional[bool] = None
 
     def prune(self, client_id: int) -> None:
         """Mark one client resolved (lazy removal)."""
         self.pruned.add(client_id)
+        if self.arrays is not None:
+            self.arrays.mark_pruned(client_id)
 
     @property
     def active_count(self) -> int:
@@ -128,6 +143,7 @@ class FacilityStream:
         candidates: frozenset,
         traversal: str = BOTTOM_UP,
         stats: Optional[QueryStats] = None,
+        use_kernels: Optional[bool] = None,
     ) -> None:
         self.engine = engine
         self.tree = engine.tree
@@ -135,6 +151,17 @@ class FacilityStream:
         self.existing = existing
         self.facilities = existing | candidates
         self.stats = stats if stats is not None else QueryStats()
+        # Kernel facility retrieval: None follows the engine; False
+        # forces the scalar loop (the oracle); True demands kernels.
+        if use_kernels is None:
+            self._use_kernels = engine.use_kernels
+        elif use_kernels and not engine.use_kernels:
+            raise QueryError(
+                "use_kernels=True needs a distance engine constructed "
+                "with kernels enabled"
+            )
+        else:
+            self._use_kernels = bool(use_kernels)
         # Fetched once per query: with profiling off this is None and
         # the per-dequeue hook below is a single local test.
         self._profiler = _profile.active()
@@ -169,6 +196,61 @@ class FacilityStream:
         )
         self.stats.queue_pushes += 1
 
+    def _retrieve_kernel(
+        self, group: _Group, ident: PartitionId
+    ) -> List[Tuple[Client, PartitionId, float, bool]]:
+        """One facility retrieval as array kernels (Lemma 5.1 hot loop).
+
+        The scalar loop pays, per dequeue, one Python iteration per
+        client (pruned-set probe + ``idist`` with its door loops).
+        Here the group's client state lives in a
+        :class:`~repro.index.kernels.GroupArrays`: the active rows are
+        one cached mask scan and the distances one
+        :meth:`~repro.index.distance.VIPDistanceEngine.idist_values`
+        call over the pack's memoised per-exit-door reductions.
+        Record order, values, and the prune decisions driven by the
+        returned records are bit-identical to the scalar loop; the
+        states' heaps remain the tie-breaking authority.
+        """
+        engine = self.engine
+        arrays = group.arrays
+        if arrays is None:
+            single = group.single_exit
+            if single is None:
+                single = engine.single_exit(group.partition_id)
+                group.single_exit = single
+            if single:
+                # Single-exit-door group: no offset matrix to pack —
+                # the dedicated lane answers from one iMinD plus the
+                # per-client offsets, and the group keeps its plain
+                # pruned-set bookkeeping (arrays stays None).
+                active, values = engine.idist_single_door(
+                    group.partition_id,
+                    group.clients,
+                    group.pruned,
+                    ident,
+                )
+                is_existing = ident in self.existing
+                return [
+                    (client, ident, values[index], is_existing)
+                    for index, client in enumerate(active)
+                ]
+            # First retrieval for this group: pack offsets once, with
+            # the mask seeded from the prunes that already happened.
+            arrays = engine.group_arrays(
+                group.clients,
+                group.partition_id,
+                pruned=group.pruned,
+            )
+            group.arrays = arrays
+        rows, values = engine.idist_values(arrays, ident)
+        is_existing = ident in self.existing
+        clients = group.clients
+        return [
+            (clients[row], ident, values[index], is_existing)
+            for index, row in enumerate(rows)
+        ]
+
     def advance(
         self,
     ) -> Optional[Tuple[float, List[Tuple[Client, PartitionId, float, bool]]]]:
@@ -190,19 +272,24 @@ class FacilityStream:
                 c for c in group.clients if c.client_id not in pruned
             ]
             pruned.clear()
+            if group.arrays is not None:
+                group.arrays.compact(group.clients)
         if not group.clients:
             # Every client of this partition is resolved: the paper's
             # |C[p]| > 0 guard — no distances, no expansion.
             return key, []
         if entity == _ENTITY_FACILITY:
-            records = []
-            for client in group.clients:
-                if client.client_id in pruned:
-                    continue
-                dist = self.engine.idist(client, ident)
-                records.append(
-                    (client, ident, dist, ident in self.existing)
-                )
+            if self._use_kernels:
+                records = self._retrieve_kernel(group, ident)
+            else:
+                records = []
+                for client in group.clients:
+                    if client.client_id in pruned:
+                        continue
+                    dist = self.engine.idist(client, ident)
+                    records.append(
+                        (client, ident, dist, ident in self.existing)
+                    )
             self.stats.facilities_retrieved += len(records)
             return key, records
 
@@ -413,6 +500,7 @@ def _run(
         problem.candidates,
         traversal=options.traversal,
         stats=stats,
+        use_kernels=options.use_kernels,
     )
     group_of_client: Dict[int, _Group] = {}
     for group in groups:

@@ -228,6 +228,7 @@ def _run(
         problem.candidates,
         traversal=options.traversal,
         stats=stats,
+        use_kernels=options.use_kernels,
     )
     group_of_client = {}
     for group in groups:

@@ -107,15 +107,28 @@ class IndexSnapshot:
 
     venue: IndoorVenue
     tree: VIPTree
+    use_kernels: Optional[bool] = None
 
     @classmethod
     def from_engine(cls, engine: IFLSEngine) -> "IndexSnapshot":
         """Capture the engine's shared, immutable structures."""
-        return cls(venue=engine.venue, tree=engine.tree)
+        return cls(
+            venue=engine.venue,
+            tree=engine.tree,
+            use_kernels=engine.use_kernels,
+        )
 
     def restore(self) -> IFLSEngine:
-        """Rebuild an engine around the snapshotted tree."""
-        return IFLSEngine(self.venue, tree=self.tree)
+        """Rebuild an engine around the snapshotted tree.
+
+        The parent's resolved ``use_kernels`` choice travels with the
+        snapshot so spawn workers answer on the same code path (the
+        tree's kernel pack itself is re-derived in the worker, not
+        shipped).
+        """
+        return IFLSEngine(
+            self.venue, tree=self.tree, use_kernels=self.use_kernels
+        )
 
     def to_bytes(self) -> bytes:
         """Pickle once with the highest protocol (sent per worker)."""

@@ -62,6 +62,7 @@ class IFLSEngine:
         tree: Optional[VIPTree] = None,
         leaf_capacity: int = 8,
         fanout: int = 4,
+        use_kernels: Optional[bool] = None,
     ) -> None:
         self.venue = venue
         self.tree = (
@@ -69,7 +70,20 @@ class IFLSEngine:
             if tree is not None
             else VIPTree(venue, leaf_capacity=leaf_capacity, fanout=fanout)
         )
-        self.distances = VIPDistanceEngine(self.tree)
+        self.distances = VIPDistanceEngine(
+            self.tree, use_kernels=use_kernels
+        )
+
+    @property
+    def use_kernels(self) -> bool:
+        """Whether this engine resolved to the array-kernel fast path.
+
+        Set at construction (``use_kernels=None`` follows numpy
+        availability and ``IFLS_USE_KERNELS``); cold queries, explains,
+        and sessions created from this engine inherit the resolved
+        value.
+        """
+        return self.distances.use_kernels
 
     def problem(
         self,
@@ -120,7 +134,9 @@ class IFLSEngine:
         distances = None
         if cold:
             distances = VIPDistanceEngine(
-                self.tree, memoize=algorithm != BASELINE
+                self.tree,
+                memoize=algorithm != BASELINE,
+                use_kernels=self.use_kernels,
             )
         problem = self.problem(clients, facilities, distances=distances)
         if algorithm == BRUTE_FORCE:
@@ -159,6 +175,7 @@ class IFLSEngine:
                 group_by_partition=options.group_by_partition,
                 traversal=options.traversal,
                 measure_memory=True,
+                use_kernels=options.use_kernels,
             )
         dispatch = {
             MINMAX: efficient_minmax,
@@ -221,7 +238,9 @@ class IFLSEngine:
         distances = self.distances
         if cold:
             distances = VIPDistanceEngine(
-                self.tree, memoize=algorithm != BASELINE
+                self.tree,
+                memoize=algorithm != BASELINE,
+                use_kernels=self.use_kernels,
             )
         problem = self.problem(clients, facilities, distances=distances)
         collector = ProfileCollector(bound_limit=bound_limit)

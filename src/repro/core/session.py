@@ -239,7 +239,10 @@ class QuerySession:
         self.engine = engine
         self.tree = engine.tree
         self.distances = VIPDistanceEngine(
-            engine.tree, memoize=True, max_cache_entries=max_cache_entries
+            engine.tree,
+            memoize=True,
+            max_cache_entries=max_cache_entries,
+            use_kernels=engine.use_kernels,
         )
         self.keep_records = keep_records
         self.records: List[SessionQueryRecord] = []

@@ -29,17 +29,30 @@ baseline-vs-efficient comparisons in ``bench/`` are apples-to-apples):
 * ``distance_computations`` counts the requests actually resolved from
   the matrices, so ``calls == cache_hits + computations`` always holds
   (``tools/check_counters.py`` enforces this).
+
+With ``use_kernels`` enabled (the default when numpy is importable,
+see :mod:`repro.index.kernels`) the engine resolves the *inner door
+loops* of ``imind_partitions`` / ``imind_node`` through dense-array
+reductions and exposes batch entry points (:meth:`idist_many`,
+:meth:`door_to_door_many`, :meth:`imind_node_many`) that answer whole
+client groups per call.  Values are bit-identical to the scalar path;
+counters stay ledger-consistent, with bulk increments: a kernelised
+``imind_partitions`` miss counts its full door-pair block as
+``d2d_lookups`` (no per-pair memo traffic), and every array reduction
+counts one ``kernel_batches``.
 """
 
 from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
+from ..errors import QueryError
 from ..indoor.entities import Client, PartitionId
 from ..indoor.venue import IndoorVenue
 from ..obs import metrics as _metrics
+from . import kernels as _kernels
 from .node import VIPNode
 from .viptree import VIPTree
 
@@ -69,6 +82,7 @@ class DistanceStats:
     idist_calls: int = 0
     single_door_shortcuts: int = 0
     cache_evictions: int = 0
+    kernel_batches: int = 0
 
     def merge(self, other: "DistanceStats") -> None:
         """Accumulate another counter set into this one."""
@@ -82,6 +96,7 @@ class DistanceStats:
         self.idist_calls += other.idist_calls
         self.single_door_shortcuts += other.single_door_shortcuts
         self.cache_evictions += other.cache_evictions
+        self.kernel_batches += other.kernel_batches
 
     @property
     def cache_hits(self) -> int:
@@ -105,6 +120,7 @@ class DistanceStats:
             "idist_calls": self.idist_calls,
             "single_door_shortcuts": self.single_door_shortcuts,
             "cache_evictions": self.cache_evictions,
+            "kernel_batches": self.kernel_batches,
         }
 
 
@@ -122,7 +138,15 @@ class VIPDistanceEngine:
 
     ``max_cache_entries`` caps the combined size of the three memo
     tables; ``None`` means unbounded.  Eviction is oldest-first from
-    the largest table, counted in ``stats.cache_evictions``.
+    the largest table, counted in ``stats.cache_evictions``; the entry
+    being stored is never its own victim, and a budget of ``0``
+    disables storage entirely (every request recomputes).
+
+    ``use_kernels`` selects the dense-array fast paths of
+    :mod:`repro.index.kernels` for the inner door loops and enables the
+    batch entry points.  ``None`` (default) resolves to "numpy is
+    importable and ``IFLS_USE_KERNELS`` is not off"; ``False`` is the
+    scalar oracle path; ``True`` without numpy raises.
     """
 
     def __init__(
@@ -130,13 +154,25 @@ class VIPDistanceEngine:
         tree: VIPTree,
         memoize: bool = True,
         max_cache_entries: Optional[int] = None,
+        use_kernels: Optional[bool] = None,
     ) -> None:
-        if max_cache_entries is not None and max_cache_entries < 1:
-            raise ValueError("max_cache_entries must be >= 1 or None")
+        if max_cache_entries is not None and max_cache_entries < 0:
+            raise ValueError("max_cache_entries must be >= 0 or None")
+        if use_kernels is None:
+            use_kernels = _kernels.default_enabled()
+        elif use_kernels and not _kernels.available():
+            raise QueryError(
+                "use_kernels=True requires numpy; leave it unset (or "
+                "False) for the scalar path"
+            )
         self.tree = tree
         self.venue: IndoorVenue = tree.venue
         self.memoize = memoize
         self.max_cache_entries = max_cache_entries
+        self.use_kernels = bool(use_kernels)
+        self._pack: Optional[_kernels.KernelPack] = (
+            tree.kernels() if self.use_kernels else None
+        )
         self.stats = DistanceStats()
         self._imind_pp: Dict[Tuple[PartitionId, PartitionId], float] = {}
         self._imind_node: Dict[Tuple[PartitionId, int], float] = {}
@@ -147,6 +183,9 @@ class VIPDistanceEngine:
         self._door_locations = {
             d.door_id: d.location for d in self.venue.doors()
         }
+        # Single-exit-door lane: (intra_distance, door location) per
+        # partition, resolved once (structural, like _doors_of).
+        self._single_door: Dict[PartitionId, Tuple] = {}
 
     def reset_stats(self) -> DistanceStats:
         """Return current stats and start a fresh counter set."""
@@ -177,30 +216,67 @@ class VIPDistanceEngine:
         """Approximate memory held by the memo tables (keys + values +
         dict overhead; shared key/value objects counted once each)."""
         total = 0
+        seen: set = set()
         for cache in (self._imind_pp, self._imind_node, self._d2d_cache):
             total += sys.getsizeof(cache)
             for key, value in cache.items():
-                total += sys.getsizeof(key) + sys.getsizeof(value)
+                # CPython interns small ints and reuses float objects
+                # across tables; dedupe by identity so a shared object
+                # is charged once, as the docstring promises.
+                if id(key) not in seen:
+                    seen.add(id(key))
+                    total += sys.getsizeof(key)
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    total += sys.getsizeof(value)
         return total
 
     def clear_caches(self) -> None:
-        """Drop every memoised distance (venue-edit invalidation)."""
+        """Drop every memoised distance (venue-edit invalidation).
+
+        With kernels enabled the tree's array pack is derived data of
+        the same matrices, so it is invalidated and re-derived too.
+        """
         self._imind_pp.clear()
         self._imind_node.clear()
         self._d2d_cache.clear()
+        if self.use_kernels:
+            self.tree.invalidate_kernels()
+            self._pack = self.tree.kernels()
 
     def _store(self, cache: Dict, key, value: float) -> None:
-        cache[key] = value
         budget = self.max_cache_entries
+        if budget == 0:
+            return  # cache disabled: never store, never evict
+        cache[key] = value
         if budget is None:
             return
+        tables = (self._imind_pp, self._imind_node, self._d2d_cache)
         evicted = 0
         while self.cache_entries() > budget:
-            victim = max(
-                (self._imind_pp, self._imind_node, self._d2d_cache),
-                key=len,
-            )
-            victim.pop(next(iter(victim)))
+            victim = max(tables, key=len)
+            oldest = next(iter(victim))
+            if victim is cache and oldest == key:
+                # Never evict the entry we are storing: with a tiny
+                # budget the FIFO head of the largest table can be the
+                # fresh key itself, and evicting it would thrash the
+                # cache (hit counters never move).  Take the
+                # next-oldest entry, or fall back to another table.
+                if len(victim) > 1:
+                    walker = iter(victim)
+                    next(walker)
+                    oldest = next(walker)
+                else:
+                    others = [
+                        table
+                        for table in tables
+                        if table is not victim and table
+                    ]
+                    if not others:  # pragma: no cover - budget 0 only
+                        break
+                    victim = max(others, key=len)
+                    oldest = next(iter(victim))
+            victim.pop(oldest)
             evicted += 1
         if evicted:
             self.stats.cache_evictions += evicted
@@ -245,13 +321,26 @@ class VIPDistanceEngine:
                 self.stats.imind_cache_hits += 1
                 return cached
         self.stats.distance_computations += 1
-        best = INFINITY
+        doors_a = self._doors(a)
         doors_b = self._doors(b)
-        for door_a in self._doors(a):
-            for door_b in doors_b:
-                d = self.door_to_door(door_a, door_b)
-                if d < best:
-                    best = d
+        pack = self._pack
+        if pack is not None:
+            # Whole door-pair block in one reduction.  Every pair is
+            # read from the packed matrices, so the full block counts
+            # as lookups (same count as the scalar loop); the per-pair
+            # memo is bypassed — the pp memo entry stored below is the
+            # reuse unit.  The reduction itself is memoised on the pack
+            # (static tree data), so cold engines pay it once per tree.
+            self.stats.d2d_lookups += len(doors_a) * len(doors_b)
+            self.stats.kernel_batches += 1
+            best = pack.partition_pair_min(a, b)
+        else:
+            best = INFINITY
+            for door_a in doors_a:
+                for door_b in doors_b:
+                    d = self.door_to_door(door_a, door_b)
+                    if d < best:
+                        best = d
         if self.memoize:
             self._store(self._imind_pp, key, best)
         return best
@@ -276,14 +365,22 @@ class VIPDistanceEngine:
                 self.stats.imind_node_cache_hits += 1
                 return cached
         self.stats.distance_computations += 1
-        best = INFINITY
-        rows = self.tree.rows
-        for access in node.access_doors:
-            row = rows[access]
-            for door_a in self._doors(partition_id):
-                d = row.get(door_a)
-                if d is not None and d < best:
-                    best = d
+        pack = self._pack
+        if pack is not None:
+            # Dense submatrix min over (access rows x partition door
+            # columns); like the scalar loop this reads the packed rows
+            # directly and counts no d2d lookups.
+            self.stats.kernel_batches += 1
+            best = pack.imind_node(partition_id, node)
+        else:
+            best = INFINITY
+            rows = self.tree.rows
+            for access in node.access_doors:
+                row = rows[access]
+                for door_a in self._doors(partition_id):
+                    d = row.get(door_a)
+                    if d is not None and d < best:
+                        best = d
         if self.memoize:
             self._store(self._imind_node, key, best)
         return best
@@ -324,6 +421,240 @@ class VIPDistanceEngine:
                 if total < best:
                     best = total
         return best
+
+    # ------------------------------------------------------------------
+    # Batch kernels: whole client groups / door sets per call
+    # ------------------------------------------------------------------
+    @property
+    def kernel_pack(self) -> Optional["_kernels.KernelPack"]:
+        """The tree's dense-array pack, or ``None`` on the scalar path."""
+        return self._pack
+
+    def _require_pack(self) -> "_kernels.KernelPack":
+        if self._pack is None:
+            raise QueryError(
+                "batch kernels require an engine with use_kernels=True"
+            )
+        return self._pack
+
+    def group_arrays(
+        self,
+        clients: Sequence[Client],
+        partition_id: Optional[PartitionId] = None,
+        pruned: Sequence[int] = (),
+    ) -> "_kernels.GroupArrays":
+        """Array-laid state for one client group (shared partition).
+
+        Computes the clients' intra-partition offsets to every exit
+        door once — the scalar path recomputes them on every facility
+        retrieval — and initialises the active mask from ``pruned``.
+        """
+        self._require_pack()
+        if partition_id is None:
+            partition_id = clients[0].partition_id
+        exit_doors = self._doors(partition_id)
+        offsets = _kernels.group_offset_rows(
+            self.venue,
+            partition_id,
+            exit_doors,
+            self._door_locations,
+            clients,
+        )
+        return _kernels.GroupArrays(
+            partition_id, exit_doors, clients, offsets, pruned=pruned
+        )
+
+    def idist_rows(self, arrays, rows, target: PartitionId):
+        """``iDist(c, target)`` for the given rows of one group.
+
+        One call answers a whole facility retrieval: counters advance
+        exactly as ``len(rows)`` scalar :meth:`idist` calls would for
+        ``idist_calls`` / ``single_door_shortcuts``, the ``iMinD``
+        ledger advances once per *distinct* request (the scalar path's
+        repeats were memo hits), and the general case counts its full
+        exit-door x target-door block as ``d2d_lookups``.  Values are
+        bit-identical to the scalar path (same candidate sums, same
+        ``min`` reduction set).
+        """
+        np = _kernels._np
+        n = len(rows)
+        self.stats.idist_calls += n
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        source = arrays.partition_id
+        if source == target:
+            return np.zeros(n, dtype=np.float64)
+        exit_doors = arrays.exit_doors
+        offsets = arrays.offsets
+        if len(exit_doors) == 1:
+            self.stats.single_door_shortcuts += n
+            base = self.imind_partitions(source, target)
+            self.stats.kernel_batches += 1
+            col = (
+                offsets[:, 0]
+                if n == offsets.shape[0]
+                else offsets[rows, 0]
+            )
+            return base + col
+        target_doors = self._doors(target)
+        pairs = len(exit_doors) * len(target_doors)
+        self.stats.d2d_lookups += pairs
+        self.stats.kernel_batches += 1
+        if not pairs:
+            return np.full(n, INFINITY, dtype=np.float64)
+        # Per-exit-door mins over the target's doors, memoised on the
+        # pack: ``min_t fl(offset + d2d_et) == fl(offset + min_t
+        # d2d_et)`` because IEEE addition is monotone, so this is
+        # bit-identical to reducing the full (exit x target) block.
+        mins = self._require_pack().exit_door_mins(source, target)
+        if n != offsets.shape[0]:
+            offsets = offsets[rows]
+        return (offsets + mins).min(axis=1)
+
+    def idist_values(self, arrays, target: PartitionId):
+        """``iDist`` over a group's active rows, as plain lists.
+
+        Returns ``(rows, values)`` where ``rows`` is
+        ``arrays.active_list()``.  Counter advances and values are
+        identical to :meth:`idist_rows` over ``arrays.active_rows()``;
+        this lane exists because the solver's per-dequeue groups hold
+        only a handful of clients, where Python float adds beat numpy
+        dispatch.  Large groups delegate to the array lane.
+        """
+        rows = arrays.active_list()
+        n = len(rows)
+        if n >= 32:
+            dists = self.idist_rows(arrays, arrays.active_rows(), target)
+            return rows, dists.tolist()
+        self.stats.idist_calls += n
+        if n == 0:
+            return rows, []
+        source = arrays.partition_id
+        if source == target:
+            return rows, [0.0] * n
+        exit_doors = arrays.exit_doors
+        offsets = arrays.offset_lists()
+        if len(exit_doors) == 1:
+            self.stats.single_door_shortcuts += n
+            base = self.imind_partitions(source, target)
+            self.stats.kernel_batches += 1
+            return rows, [base + offsets[row][0] for row in rows]
+        target_doors = self._doors(target)
+        pairs = len(exit_doors) * len(target_doors)
+        self.stats.d2d_lookups += pairs
+        self.stats.kernel_batches += 1
+        if not pairs:
+            return rows, [INFINITY] * n
+        mins = self._require_pack().exit_door_mins_list(source, target)
+        values = []
+        for row in rows:
+            best = INFINITY
+            for offset, base in zip(offsets[row], mins):
+                cand = offset + base
+                if cand < best:
+                    best = cand
+            values.append(best)
+        return rows, values
+
+    def single_exit(self, partition_id: PartitionId) -> bool:
+        """True when the partition has exactly one exit door."""
+        return len(self._doors(partition_id)) == 1
+
+    def idist_single_door(
+        self,
+        partition_id: PartitionId,
+        clients: Sequence[Client],
+        pruned: Set[int],
+        target: PartitionId,
+    ):
+        """``iDist`` to ``target`` for a single-exit-door group.
+
+        The no-arrays lane of the kernel path: a group behind one exit
+        door needs no offset matrix — one ``iMinD`` plus a per-client
+        intra-partition offset — so the solver skips
+        :class:`~repro.index.kernels.GroupArrays` for such groups
+        entirely (on venues like MC, over 95% of partitions are
+        single-door rooms).  Returns ``(active_clients, values)`` in
+        client-list order (``active_clients`` may alias ``clients``
+        when nothing is pruned — treat it as read-only).  Counters
+        advance exactly as :meth:`idist_values`' single-door lane, and
+        the values are the same sums the scalar ``idist`` shortcut
+        produces.
+        """
+        kept = (
+            clients
+            if not pruned
+            else [c for c in clients if c.client_id not in pruned]
+        )
+        n = len(kept)
+        self.stats.idist_calls += n
+        if n == 0:
+            return kept, []
+        if partition_id == target:
+            return kept, [0.0] * n
+        self.stats.single_door_shortcuts += n
+        base = self.imind_partitions(partition_id, target)
+        self.stats.kernel_batches += 1
+        lane = self._single_door.get(partition_id)
+        if lane is None:
+            lane = (
+                self.venue.partition(partition_id).intra_distance,
+                self._door_locations[self._doors(partition_id)[0]],
+            )
+            self._single_door[partition_id] = lane
+        intra, door_location = lane
+        return kept, [
+            base + intra(client.location, door_location)
+            for client in kept
+        ]
+
+    def idist_many(
+        self, clients: Sequence[Client], target: PartitionId
+    ):
+        """Vector of ``iDist(c, target)`` for co-located clients."""
+        np = _kernels._np
+        self._require_pack()
+        if not clients:
+            self.stats.kernel_batches += 1
+            return np.empty(0, dtype=np.float64)
+        partition_id = clients[0].partition_id
+        for client in clients:
+            if client.partition_id != partition_id:
+                raise QueryError(
+                    "idist_many requires clients of one partition; got "
+                    f"{partition_id} and {client.partition_id}"
+                )
+        arrays = self.group_arrays(clients, partition_id)
+        return self.idist_rows(arrays, np.arange(len(clients)), target)
+
+    def door_to_door_many(
+        self, doors_a: Sequence[int], doors_b: Sequence[int]
+    ):
+        """Dense ``(len(a), len(b))`` block of door-pair distances.
+
+        Counts every pair as a lookup (bulk increment) and one kernel
+        batch; the per-pair memo is bypassed — callers hold the block.
+        """
+        pack = self._require_pack()
+        self.stats.d2d_lookups += len(doors_a) * len(doors_b)
+        self.stats.kernel_batches += 1
+        return pack.d2d_block(doors_a, doors_b)
+
+    def imind_node_many(
+        self, partition_id: PartitionId, nodes: Sequence[VIPNode]
+    ):
+        """Vector of :meth:`imind_node` bounds for many nodes.
+
+        Each node goes through the normal covers/memo/store sequence,
+        so counters are identical to per-node calls; only the inner
+        door loop is the dense-array reduction.
+        """
+        np = _kernels._np
+        self._require_pack()
+        out = np.empty(len(nodes), dtype=np.float64)
+        for index, node in enumerate(nodes):
+            out[index] = self.imind_node(partition_id, node)
+        return out
 
     def point_min_dist_to_node(self, client: Client, node: VIPNode) -> float:
         """Lower bound from an exact client location to a node.

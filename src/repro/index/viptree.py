@@ -91,6 +91,38 @@ class VIPTree:
         _metrics.record(
             "index.build.seconds", time.perf_counter() - build_started
         )
+        # Dense-array kernel pack, derived lazily from the matrices
+        # above (requires numpy; see repro.index.kernels).
+        self._kernel_pack = None
+
+    def kernels(self):
+        """The tree's dense-array :class:`KernelPack`, built lazily.
+
+        The pack is pure derived data of ``rows`` / ``local`` /
+        ``_door_leaf``, shared by every distance engine on this tree.
+        Building emits the ``index.kernels.pack`` span and the
+        ``index.kernels.pack.seconds`` metric once.  Requires numpy.
+        """
+        if self._kernel_pack is None:
+            from . import kernels as _kernels
+
+            self._kernel_pack = _kernels.build_pack(self)
+        return self._kernel_pack
+
+    def invalidate_kernels(self) -> None:
+        """Drop the kernel pack; the next :meth:`kernels` re-derives it.
+
+        Called by ``VIPDistanceEngine.clear_caches`` so array data can
+        never outlive the dict matrices it was packed from.
+        """
+        self._kernel_pack = None
+
+    def __getstate__(self):
+        # The pack is cheap to re-derive and holds large dense arrays;
+        # keep pickles (parallel IndexSnapshot payloads) lean.
+        state = dict(self.__dict__)
+        state["_kernel_pack"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Construction

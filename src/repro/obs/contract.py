@@ -64,6 +64,11 @@ SPANS: Dict[str, SpanSpec] = _spans(
         "child of index.build: access-door row and leaf-matrix fill",
     ),
     SpanSpec(
+        "index.kernels.pack",
+        "once per lazy dense-array kernel pack build (first "
+        "kernel-enabled engine on a tree, or after invalidation)",
+    ),
+    SpanSpec(
         "query.efficient.minmax",
         "once per efficient MinMax query (Algorithms 2-3)",
     ),
@@ -173,6 +178,11 @@ METRICS: Dict[str, MetricSpec] = _metrics(
     MetricSpec(
         "index.build.seconds", "histogram", "seconds",
         "per VIP-tree construction wall time",
+    ),
+    MetricSpec(
+        "index.kernels.pack.seconds", "histogram", "seconds",
+        "per kernel-pack build wall time (lazy, once per tree until "
+        "invalidated)",
     ),
     MetricSpec(
         "cache.entries", "gauge", "entries",

@@ -199,6 +199,16 @@ class TestCommittedBaseline:
     def test_small_suite_exact_counters_match_baseline(self):
         """The committed baseline gates clean on this tree (1 run)."""
         path = REPO / "BENCH_small.json"
+        baseline = load_baseline(path)
+        recorded_mode = baseline.fingerprint.get("kernels")
+        current_mode = regress.machine_fingerprint()["kernels"]
+        if recorded_mode != current_mode:
+            pytest.skip(
+                "baseline recorded under kernel mode "
+                f"{recorded_mode!r}; this run resolves "
+                f"{current_mode!r} — memo-traffic counters differ by "
+                "design between the paths"
+            )
         report = gate("small", path, runs=1)
         exact_drift = [
             entry

@@ -30,6 +30,7 @@ class TestDistanceStats:
             "idist_calls",
             "single_door_shortcuts",
             "cache_evictions",
+            "kernel_batches",
         }
 
     def test_cache_hits_aggregate(self):

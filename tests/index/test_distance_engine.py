@@ -1,5 +1,7 @@
 """Unit tests for the VIP-tree distance engine (iDist / iMinD)."""
 
+import sys
+
 import pytest
 
 from repro import Client, DistanceService, Point, VIPTree
@@ -256,6 +258,111 @@ class TestEviction:
         assert engine.cache_sizes() == {
             "imind_pp": 0, "imind_node": 0, "d2d": 0
         }
+
+
+class TestTinyBudgets:
+    """Regression: tiny budgets must never evict the fresh entry."""
+
+    def _engine(self, setup, budget):
+        _, engine, _ = setup
+        return VIPDistanceEngine(
+            engine.tree, memoize=True, max_cache_entries=budget
+        )
+
+    def test_negative_budget_rejected(self, setup):
+        _, engine, _ = setup
+        with pytest.raises(ValueError, match=">= 0"):
+            VIPDistanceEngine(engine.tree, max_cache_entries=-1)
+
+    def test_budget_zero_disables_cache(self, setup):
+        engine = self._engine(setup, 0)
+        doors = sorted(engine.venue.door_ids())[:2]
+        cold = VIPDistanceEngine(engine.tree, memoize=False)
+        for _ in range(3):
+            assert engine.door_to_door(doors[0], doors[1]) == (
+                cold.door_to_door(doors[0], doors[1])
+            )
+        assert engine.cache_entries() == 0
+        assert engine.stats.d2d_cache_hits == 0
+        assert engine.stats.cache_evictions == 0
+
+    def test_budget_one_keeps_the_entry_just_stored(self, setup):
+        engine = self._engine(setup, 1)
+        doors = sorted(engine.venue.door_ids())[:3]
+        engine.door_to_door(doors[0], doors[1])
+        assert engine.cache_entries() == 1
+        # The fresh entry survived its own store: re-probe is a hit.
+        engine.door_to_door(doors[0], doors[1])
+        assert engine.stats.d2d_cache_hits == 1
+        # A second key evicts the first, and again keeps the fresh one.
+        engine.door_to_door(doors[0], doors[2])
+        assert engine.cache_entries() == 1
+        assert engine.stats.cache_evictions == 1
+        engine.door_to_door(doors[0], doors[2])
+        assert engine.stats.d2d_cache_hits == 2
+
+    def test_budget_two_evicts_oldest_first(self, setup):
+        engine = self._engine(setup, 2)
+        doors = sorted(engine.venue.door_ids())[:4]
+        pairs = [(doors[0], d) for d in doors[1:]]
+        for a, b in pairs:
+            engine.door_to_door(a, b)
+        assert engine.cache_entries() == 2
+        assert engine.stats.cache_evictions == 1
+        # The two newest pairs are retained, FIFO-evicting the oldest.
+        hits_before = engine.stats.d2d_cache_hits
+        for a, b in pairs[1:]:
+            engine.door_to_door(a, b)
+        assert engine.stats.d2d_cache_hits == hits_before + 2
+        engine.door_to_door(*pairs[0])
+        assert engine.stats.d2d_cache_hits == hits_before + 2
+
+    def test_budget_one_across_tables(self, setup):
+        engine = self._engine(setup, 1)
+        pids = sorted(engine.venue.partition_ids())
+        engine.imind_partitions(pids[0], pids[1])
+        doors = sorted(engine.venue.door_ids())[:2]
+        engine.door_to_door(doors[0], doors[1])
+        # The d2d store evicted the imind_pp entry, not itself.
+        assert engine.cache_sizes() == {
+            "imind_pp": 0, "imind_node": 0, "d2d": 1
+        }
+        engine.door_to_door(doors[0], doors[1])
+        assert engine.stats.d2d_cache_hits == 1
+
+
+class TestCacheBytes:
+    """Regression: shared key/value objects are charged once."""
+
+    def test_shared_value_counted_once(self, setup):
+        _, setup_engine, _ = setup
+        engine = VIPDistanceEngine(setup_engine.tree)
+        value = 123.456  # one float object referenced by all tables
+        engine._imind_pp[(1, 2)] = value
+        engine._imind_node[(1, 7)] = value
+        engine._d2d_cache[(3, 4)] = value
+        tables = (
+            engine._imind_pp, engine._imind_node, engine._d2d_cache
+        )
+        naive = sum(sys.getsizeof(t) for t in tables)
+        for table in tables:
+            for key, val in table.items():
+                naive += sys.getsizeof(key) + sys.getsizeof(val)
+        assert engine.cache_bytes() == naive - 2 * sys.getsizeof(value)
+
+    def test_distinct_objects_all_counted(self, setup):
+        _, setup_engine, _ = setup
+        engine = VIPDistanceEngine(setup_engine.tree)
+        engine._imind_pp[(1, 2)] = 10.5
+        engine._d2d_cache[(3, 4)] = 20.25
+        tables = (
+            engine._imind_pp, engine._imind_node, engine._d2d_cache
+        )
+        expected = sum(sys.getsizeof(t) for t in tables)
+        for table in tables:
+            for key, val in table.items():
+                expected += sys.getsizeof(key) + sys.getsizeof(val)
+        assert engine.cache_bytes() == expected
 
 
 class TestStatsManagement:

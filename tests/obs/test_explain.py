@@ -45,8 +45,15 @@ def setup():
 
 
 def _golden_report(setup):
+    # Pinned to the scalar distance path: kernelized runs report
+    # different memo-traffic counters (by design), and the golden must
+    # stay byte-stable whether or not numpy/IFLS_USE_KERNELS enable
+    # the array kernels.
     engine, clients, facilities = setup
-    return engine.explain(
+    scalar = IFLSEngine(
+        engine.venue, tree=engine.tree, use_kernels=False
+    )
+    return scalar.explain(
         clients, facilities, label="golden", cold=True
     )
 
@@ -278,7 +285,7 @@ if __name__ == "__main__":
             "--regen"
         )
     venue, room_ids, _ = build_corridor_venue(rooms=12)
-    engine = IFLSEngine(venue)
+    engine = IFLSEngine(venue, use_kernels=False)
     clients = make_clients(venue, 30, seed=5)
     facilities = facility_split(room_ids, 2, 4)
     report = engine.explain(

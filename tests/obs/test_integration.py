@@ -47,11 +47,16 @@ class TestContractSubset:
     def test_index_build_spans(self):
         venue, _, _ = build_corridor_venue(rooms=6)
         with observe() as (tracer, registry):
-            IFLSEngine(venue)
-        assert span_names(tracer) == {
+            engine = IFLSEngine(venue)
+        expected = {
             "index.build", "index.build.nodes", "index.build.matrices",
         }
+        if engine.use_kernels:
+            expected.add("index.kernels.pack")
+        assert span_names(tracer) == expected
         assert "index.build.seconds" in metric_names(registry)
+        if engine.use_kernels:
+            assert "index.kernels.pack.seconds" in metric_names(registry)
 
     def test_efficient_query_emits_contract_names_only(self, setup):
         engine, clients, facilities = setup

@@ -23,7 +23,20 @@ asserts the structural invariants of :class:`QueryStats` /
   sum of the merged per-query records;
 * EXPLAIN attribution: for every objective (and the baseline), the
   per-phase *own* counter deltas of ``engine.explain(...)`` sum
-  exactly to the query's top-level :class:`DistanceStats` ledger.
+  exactly to the query's top-level :class:`DistanceStats` ledger;
+* kernel-vs-scalar ledger equality (when numpy is importable): for
+  every objective, a cold kernel query and a cold scalar query return
+  bit-identical answers/objectives, agree exactly on the
+  path-independent counters (``idist_calls``,
+  ``single_door_shortcuts``, ``imind_node_calls``,
+  ``imind_node_cache_hits``, ``distance_computations``, and the
+  QueryStats traversal counters), both satisfy the ledger identities
+  above, and ``kernel_batches`` is positive on the kernel path and
+  exactly zero on the scalar path.  (The d2d memo-traffic counters
+  ``d2d_lookups`` / ``d2d_cache_hits`` and the ``imind_calls`` /
+  ``imind_cache_hits`` split legitimately differ: a kernelised miss
+  answers its whole door block in one reduction instead of per-pair
+  memo probes.)
 
 Exit code 0 when clean, 1 with one line per violation — cheap enough
 to run in tier-1 tests (see ``tests/test_tools.py``), so any future
@@ -245,6 +258,75 @@ def run_checks() -> List[str]:
                 f"{label}: phase-attributed counters do not sum to "
                 f"the query ledger ({attributed} != {ledger})"
             )
+
+    # Kernel-vs-scalar ledger equality (skipped when numpy is absent).
+    from repro.index import kernels
+
+    if kernels.available():
+        kernel_engine = IFLSEngine(
+            venue, tree=engine.tree, use_kernels=True
+        )
+        scalar_engine = IFLSEngine(
+            venue, tree=engine.tree, use_kernels=False
+        )
+        equal_distance_keys = (
+            "idist_calls",
+            "single_door_shortcuts",
+            "imind_node_calls",
+            "imind_node_cache_hits",
+            "distance_computations",
+        )
+        equal_query_keys = (
+            "clients_pruned",
+            "facilities_retrieved",
+            "queue_pushes",
+            "queue_pops",
+            "iterations",
+        )
+        for objective in ("minmax", "mindist", "maxsum"):
+            label = f"kernels/{objective}"
+            got = kernel_engine.query(
+                clients, facilities, objective=objective, cold=True
+            )
+            want = scalar_engine.query(
+                clients, facilities, objective=objective, cold=True
+            )
+            if (got.answer, got.objective) != (
+                want.answer, want.objective
+            ):
+                violations.append(
+                    f"{label}: kernel answer differs from the scalar "
+                    f"oracle (({got.answer}, {got.objective}) != "
+                    f"({want.answer}, {want.objective}))"
+                )
+            violations += check_query_stats(label, got.stats)
+            violations += check_query_stats(f"{label}/oracle",
+                                            want.stats)
+            kd, sd = got.stats.distance, want.stats.distance
+            for key in equal_distance_keys:
+                mine, oracle = getattr(kd, key), getattr(sd, key)
+                if mine != oracle:
+                    violations.append(
+                        f"{label}: {key} diverged from the scalar "
+                        f"oracle ({mine} != {oracle})"
+                    )
+            for key in equal_query_keys:
+                mine = getattr(got.stats, key)
+                oracle = getattr(want.stats, key)
+                if mine != oracle:
+                    violations.append(
+                        f"{label}: {key} diverged from the scalar "
+                        f"oracle ({mine} != {oracle})"
+                    )
+            if kd.kernel_batches <= 0:
+                violations.append(
+                    f"{label}: kernel path counted no kernel_batches"
+                )
+            if sd.kernel_batches != 0:
+                violations.append(
+                    f"{label}: scalar oracle counted "
+                    f"{sd.kernel_batches} kernel_batches"
+                )
     return violations
 
 
