@@ -9,13 +9,25 @@ figure of the paper's evaluation.
 
 Quickstart::
 
-    from repro import IFLSEngine, FacilitySets
+    import repro
     from repro.datasets import figure1_venue
 
     venue, existing, candidates, clients, names = figure1_venue()
-    engine = IFLSEngine(venue)
-    result = engine.query(clients, FacilitySets(existing, candidates))
-    print(result.answer, result.objective)
+    engine = repro.open_venue(venue)
+    request = repro.QueryRequest(
+        clients=tuple(clients),
+        facilities=repro.FacilitySets(existing, candidates),
+    )
+    response = engine.query(request)
+    print(response.answer, response.objective_value)
+
+:func:`open_venue` is the facade every surface shares — the library
+API, the ``ifls`` CLI, and the HTTP query service
+(:mod:`repro.service`) all speak the same
+:class:`QueryRequest`/:class:`QueryResponse` pair.  The
+pre-1.6 spellings (:class:`IFLSEngine`, ``EfficientOptions``,
+``BatchQuery``) keep working; see the migration table in
+``docs/API.md``.
 
 Observability: wrap any of the above in :func:`repro.obs.observe` to
 collect a span trace and a metrics snapshot (zero overhead when not
@@ -23,6 +35,7 @@ used) — see ``docs/OBSERVABILITY.md`` for the instrumentation
 contract.
 """
 
+from .api import BACKENDS, Engine, open_venue
 from .core import (
     BASELINE,
     BOTTOM_UP,
@@ -39,6 +52,8 @@ from .core import (
     MovingClientSimulator,
     IFLSEngine,
     ParallelBatchOutcome,
+    QueryRequest,
+    QueryResponse,
     QuerySession,
     RankedCandidate,
     SessionQueryRecord,
@@ -53,10 +68,14 @@ from .core import (
 from .errors import (
     DisconnectedVenueError,
     ParallelExecutionError,
+    ProtocolError,
     QueryError,
     ReproError,
+    RequestTimeout,
+    ServiceError,
     UnreachableFacilityError,
     VenueError,
+    http_status_for,
 )
 from .indoor import (
     Client,
@@ -86,9 +105,10 @@ from .obs import (
     observe,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
+    "BACKENDS",
     "BASELINE",
     "BOTTOM_UP",
     "BRUTE_FORCE",
@@ -101,6 +121,7 @@ __all__ = [
     "DoorGraph",
     "EFFICIENT",
     "EfficientOptions",
+    "Engine",
     "ExplainReport",
     "FacilitySearch",
     "FacilitySets",
@@ -112,7 +133,10 @@ __all__ = [
     "IndoorVenue",
     "ParallelBatchOutcome",
     "ParallelExecutionError",
+    "ProtocolError",
     "run_batch_parallel",
+    "open_venue",
+    "http_status_for",
     "MAXSUM",
     "MINDIST",
     "MINMAX",
@@ -128,13 +152,17 @@ __all__ = [
     "Point",
     "ProfileCollector",
     "QueryError",
+    "QueryRequest",
+    "QueryResponse",
     "QuerySession",
     "QueryStats",
     "Rect",
+    "RequestTimeout",
     "SessionQueryRecord",
     "SessionReport",
     "ReproError",
     "ResultStatus",
+    "ServiceError",
     "TOP_DOWN",
     "UnreachableFacilityError",
     "VenueBuilder",

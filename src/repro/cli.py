@@ -11,6 +11,9 @@ Installed as ``ifls`` (see pyproject) and runnable as
 * ``ifls explain VENUE`` — run one query under the EXPLAIN profiler
   and print per-phase timings with exact counter attribution, the
   Lemma 5.1 bound evolution, and the VIP-tree visit profile;
+* ``ifls serve VENUE`` — keep the venue resident and answer IFLS
+  queries over HTTP/JSON (``POST /query``, ``POST /batch``,
+  ``GET /metrics``, ``GET /health``, ``GET /explain/<id>``);
 * ``ifls perfgate`` — compare a bench suite against its committed
   ``BENCH_<suite>.json`` baseline (``--record`` refreshes it);
 * ``ifls bench`` — regenerate the paper's tables and figures.
@@ -217,6 +220,30 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     if args.csv is not None:
         rows = write_explain_csv(report, Path(args.csv))
         print(f"csv:        {rows} phase rows -> {args.csv}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived HTTP query service on one venue."""
+    from .api import open_venue
+    from .service.server import ServiceConfig, run_service
+
+    use_kernels = False if args.no_kernels else None
+    engine = open_venue(
+        args.venue, backend=args.backend, use_kernels=use_kernels
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        pool_size=args.pool_size,
+        max_cache_entries=args.cache_budget,
+        cache_bytes_budget=args.cache_bytes_budget,
+        flush_window=args.flush_window,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        request_timeout=args.request_timeout,
+    )
+    run_service(engine, config=config)
     return 0
 
 
@@ -507,6 +534,45 @@ def build_parser() -> argparse.ArgumentParser:
                               "follows numpy availability and "
                               "IFLS_USE_KERNELS)")
     explain.set_defaults(fn=_cmd_explain)
+
+    serve = sub.add_parser(
+        "serve",
+        help="answer IFLS queries over HTTP from a resident venue",
+    )
+    serve.add_argument("venue",
+                       help="built-in venue name or a venue JSON path")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8337,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--backend",
+                       choices=("viptree", "iptree", "doortable"),
+                       default="viptree",
+                       help="distance-index backend (IFLS queries "
+                            "require viptree)")
+    serve.add_argument("--pool-size", type=int, default=2,
+                       help="warm sessions kept over the shared "
+                            "index snapshot")
+    serve.add_argument("--flush-window", type=float, default=0.01,
+                       help="seconds a flush waits to coalesce "
+                            "concurrent requests")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="flush as soon as this many requests "
+                            "are pending")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="process-pool shards per coalesced batch "
+                            "(1 = serial warm session)")
+    serve.add_argument("--cache-budget", type=int, default=None,
+                       help="max memoised distance entries per "
+                            "session (default unbounded)")
+    serve.add_argument("--cache-bytes-budget", type=int, default=None,
+                       help="combined idle-session cache bytes before "
+                            "oldest-idle eviction (default off)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       help="per-request seconds before HTTP 504 "
+                            "(overridable per query)")
+    serve.add_argument("--no-kernels", action="store_true",
+                       help="force the scalar distance path")
+    serve.set_defaults(fn=_cmd_serve)
 
     perfgate = sub.add_parser(
         "perfgate",

@@ -23,6 +23,7 @@ from .parallel import (
     run_batch_parallel,
 )
 from .problem import IFLSProblem
+from .request import QueryRequest, QueryResponse, as_batch_queries
 from .queries import (
     BASELINE,
     BRUTE_FORCE,
@@ -66,6 +67,9 @@ __all__ = [
     "IFLSProblem",
     "IndexSnapshot",
     "ParallelBatchOutcome",
+    "QueryRequest",
+    "QueryResponse",
+    "as_batch_queries",
     "run_batch_parallel",
     "distance_invariant_violations",
     "merge_query_stats",

@@ -54,7 +54,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import ExitStack
@@ -62,14 +61,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ParallelExecutionError
-from ..indoor.venue import IndoorVenue
-from ..index.viptree import VIPTree
+from ..index.snapshot import IndexSnapshot
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from ..obs.explain import ExplainReport
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import SpanRecord, Tracer
 from .queries import IFLSEngine
+from .request import as_batch_queries
 from .result import IFLSResult
 from .session import (
     BatchQuery,
@@ -93,56 +92,6 @@ def default_start_method() -> str:
     if FORK in multiprocessing.get_all_start_methods():
         return FORK
     return SPAWN
-
-
-@dataclass(frozen=True)
-class IndexSnapshot:
-    """A picklable image of a prepared engine: venue + VIP-tree.
-
-    The snapshot carries the built tree (matrices included), so
-    restoring is a cheap unpickle instead of an index construction.
-    Used by the ``spawn`` path, where workers share no memory with the
-    parent; the ``fork`` path never materialises one.
-    """
-
-    venue: IndoorVenue
-    tree: VIPTree
-    use_kernels: Optional[bool] = None
-
-    @classmethod
-    def from_engine(cls, engine: IFLSEngine) -> "IndexSnapshot":
-        """Capture the engine's shared, immutable structures."""
-        return cls(
-            venue=engine.venue,
-            tree=engine.tree,
-            use_kernels=engine.use_kernels,
-        )
-
-    def restore(self) -> IFLSEngine:
-        """Rebuild an engine around the snapshotted tree.
-
-        The parent's resolved ``use_kernels`` choice travels with the
-        snapshot so spawn workers answer on the same code path (the
-        tree's kernel pack itself is re-derived in the worker, not
-        shipped).
-        """
-        return IFLSEngine(
-            self.venue, tree=self.tree, use_kernels=self.use_kernels
-        )
-
-    def to_bytes(self) -> bytes:
-        """Pickle once with the highest protocol (sent per worker)."""
-        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
-
-    @classmethod
-    def from_bytes(cls, payload: bytes) -> "IndexSnapshot":
-        """Inverse of :meth:`to_bytes` (runs in the worker)."""
-        snapshot = pickle.loads(payload)
-        if not isinstance(snapshot, cls):
-            raise ParallelExecutionError(
-                f"snapshot payload decoded to {type(snapshot).__name__}"
-            )
-        return snapshot
 
 
 @dataclass
@@ -496,7 +445,7 @@ def run_batch_parallel(
         counters break an invariant.
     """
     global _FORK_ENGINE
-    batch = list(batch)
+    batch = as_batch_queries(batch)
     method = start_method or default_start_method()
     if method not in (FORK, SPAWN):
         raise ParallelExecutionError(

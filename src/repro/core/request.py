@@ -1,0 +1,402 @@
+"""The unified query surface: :class:`QueryRequest` / :class:`QueryResponse`.
+
+Before the service refactor the library grew three overlapping option
+surfaces: :class:`~repro.core.efficient.EfficientOptions` (solver
+ablations), ``QuerySession`` keyword arguments, and the
+``run_batch_parallel`` keyword arguments.  A query that travelled from
+the CLI through a session into the pool executor was re-spelled at
+every hop.  :class:`QueryRequest` collapses the per-query half of that
+drift into one dataclass shared by the library API
+(:meth:`repro.api.Engine.query`), the CLI, and the wire protocol of the
+query service (:mod:`repro.service`); :class:`QueryResponse` is the
+matching answer envelope.
+
+Execution-scope knobs (cache budgets, worker counts, record keeping)
+stay on the executors that own them — they describe *where* a query
+runs, not *what* it asks — see the migration table in ``docs/API.md``.
+
+Wire format
+-----------
+``QueryRequest.to_payload()`` / ``from_payload()`` round-trip through
+plain JSON-compatible dictionaries.  Clients use the workload schema of
+:mod:`repro.indoor.io` (``{"id", "location": [x, y, level],
+"partition"}``); facility sets are sorted id lists.  Decoding raises
+:class:`~repro.errors.ProtocolError` on malformed payloads so the
+service maps them to HTTP 400 without guessing.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ProtocolError, QueryError
+from ..indoor.entities import Client, FacilitySets, PartitionId
+from ..indoor.geometry import Point
+from .efficient import BOTTOM_UP, TOP_DOWN, EfficientOptions
+from .result import IFLSResult
+
+_OBJECTIVES = ("minmax", "mindist", "maxsum")
+_ALGORITHMS = ("efficient", "baseline", "bruteforce")
+
+#: Payload schema tag; bump on incompatible wire changes.
+WIRE_FORMAT = "ifls-query/1"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Everything one IFLS query asks for, in one place.
+
+    The per-query fields of the three legacy surfaces map onto this
+    dataclass one to one:
+
+    * ``EfficientOptions.prune_clients / group_by_partition /
+      traversal / use_kernels / measure_memory`` are plain fields here;
+    * ``BatchQuery.objective / label`` likewise;
+    * session/pool keywords (``max_cache_entries``, ``workers``, …)
+      deliberately do **not** appear — they configure executors, not
+      queries.
+
+    ``timeout_seconds`` is honoured by the query service (HTTP 504 when
+    exceeded); library executors ignore it.  ``explain`` asks the
+    service to keep the query's EXPLAIN report retrievable under
+    ``GET /explain/<id>``.
+    """
+
+    clients: Tuple[Client, ...]
+    facilities: FacilitySets
+    objective: str = "minmax"
+    algorithm: str = "efficient"
+    label: str = ""
+    prune_clients: bool = True
+    group_by_partition: bool = True
+    traversal: str = BOTTOM_UP
+    use_kernels: Optional[bool] = None
+    measure_memory: bool = False
+    timeout_seconds: Optional[float] = None
+    explain: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "clients", tuple(self.clients))
+        if self.objective not in _OBJECTIVES:
+            raise QueryError(f"unknown objective {self.objective!r}")
+        if self.algorithm not in _ALGORITHMS:
+            raise QueryError(f"unknown algorithm {self.algorithm!r}")
+        if self.traversal not in (BOTTOM_UP, TOP_DOWN):
+            raise QueryError(f"unknown traversal {self.traversal!r}")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise QueryError(
+                f"timeout_seconds must be positive, got "
+                f"{self.timeout_seconds}"
+            )
+
+    # ------------------------------------------------------------------
+    # Legacy-surface bridges
+    # ------------------------------------------------------------------
+    def options(self) -> Optional[EfficientOptions]:
+        """The solver-level options this request resolves to.
+
+        Returns ``None`` when every ablation field is at its default so
+        fully-default requests take the exact cold-path code the legacy
+        ``options=None`` call sites take (bit-identical counters).
+        """
+        if (
+            self.prune_clients
+            and self.group_by_partition
+            and self.traversal == BOTTOM_UP
+            and not self.measure_memory
+            and self.use_kernels is None
+        ):
+            return None
+        return EfficientOptions(
+            prune_clients=self.prune_clients,
+            group_by_partition=self.group_by_partition,
+            traversal=self.traversal,
+            measure_memory=self.measure_memory,
+            use_kernels=self.use_kernels,
+        )
+
+    @classmethod
+    def from_legacy(
+        cls,
+        clients: Sequence[Client],
+        facilities: FacilitySets,
+        objective: str = "minmax",
+        algorithm: str = "efficient",
+        options: Optional[EfficientOptions] = None,
+        label: str = "",
+    ) -> "QueryRequest":
+        """Build a request from the legacy argument spelling.
+
+        The deprecation shims (``Engine.query`` with the old positional
+        signature, ``BatchQuery.to_request``) funnel through here; new
+        code constructs :class:`QueryRequest` directly.
+        """
+        kwargs: Dict[str, Any] = {}
+        if options is not None:
+            kwargs.update(
+                prune_clients=options.prune_clients,
+                group_by_partition=options.group_by_partition,
+                traversal=options.traversal,
+                measure_memory=options.measure_memory,
+                use_kernels=options.use_kernels,
+            )
+        return cls(
+            clients=tuple(clients),
+            facilities=facilities,
+            objective=objective,
+            algorithm=algorithm,
+            label=label,
+            **kwargs,
+        )
+
+    def to_batch_query(self):
+        """The legacy ``BatchQuery`` equivalent (internal executors).
+
+        Sessions answer through the efficient solvers only, so a
+        request carrying another algorithm cannot ride a batch — use
+        :meth:`repro.api.Engine.query` for baseline/bruteforce runs.
+        """
+        from .session import BatchQuery
+
+        if self.algorithm != "efficient":
+            raise QueryError(
+                f"batch execution supports the 'efficient' algorithm "
+                f"only, got {self.algorithm!r}"
+            )
+        return BatchQuery(
+            clients=self.clients,
+            facilities=self.facilities,
+            objective=self.objective,
+            options=self.options(),
+            label=self.label,
+        )
+
+    # ------------------------------------------------------------------
+    # Wire codec
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-compatible dictionary (the service wire format)."""
+        payload: Dict[str, Any] = {
+            "format": WIRE_FORMAT,
+            "clients": [
+                {
+                    "id": c.client_id,
+                    "location": [c.location.x, c.location.y,
+                                 c.location.level],
+                    "partition": c.partition_id,
+                }
+                for c in self.clients
+            ],
+            "existing": sorted(self.facilities.existing),
+            "candidates": sorted(self.facilities.candidates),
+            "objective": self.objective,
+        }
+        if self.algorithm != "efficient":
+            payload["algorithm"] = self.algorithm
+        if self.label:
+            payload["label"] = self.label
+        if not self.prune_clients:
+            payload["prune_clients"] = False
+        if not self.group_by_partition:
+            payload["group_by_partition"] = False
+        if self.traversal != BOTTOM_UP:
+            payload["traversal"] = self.traversal
+        if self.use_kernels is not None:
+            payload["use_kernels"] = self.use_kernels
+        if self.timeout_seconds is not None:
+            payload["timeout_seconds"] = self.timeout_seconds
+        if self.explain:
+            payload["explain"] = True
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "QueryRequest":
+        """Decode one wire payload; :class:`ProtocolError` on garbage."""
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"query payload must be an object, got "
+                f"{type(payload).__name__}"
+            )
+        try:
+            clients = tuple(
+                Client(
+                    int(entry["id"]),
+                    Point(
+                        float(entry["location"][0]),
+                        float(entry["location"][1]),
+                        int(entry["location"][2]),
+                    ),
+                    int(entry["partition"]),
+                )
+                for entry in payload.get("clients", ())
+            )
+            facilities = FacilitySets(
+                frozenset(
+                    int(p) for p in payload.get("existing", ())
+                ),
+                frozenset(
+                    int(p) for p in payload.get("candidates", ())
+                ),
+            )
+            timeout = payload.get("timeout_seconds")
+            return cls(
+                clients=clients,
+                facilities=facilities,
+                objective=str(payload.get("objective", "minmax")),
+                algorithm=str(payload.get("algorithm", "efficient")),
+                label=str(payload.get("label", "")),
+                prune_clients=bool(payload.get("prune_clients", True)),
+                group_by_partition=bool(
+                    payload.get("group_by_partition", True)
+                ),
+                traversal=str(payload.get("traversal", BOTTOM_UP)),
+                use_kernels=payload.get("use_kernels"),
+                timeout_seconds=(
+                    float(timeout) if timeout is not None else None
+                ),
+                explain=bool(payload.get("explain", False)),
+            )
+        except QueryError as exc:
+            # Validation failures are still protocol errors on the wire.
+            raise ProtocolError(str(exc)) from exc
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise ProtocolError(
+                f"malformed query payload: {exc}"
+            ) from exc
+
+
+@dataclass
+class QueryResponse:
+    """The answer envelope matching :class:`QueryRequest`.
+
+    ``distance_delta`` carries the per-query distance-counter deltas
+    (the same ledger slice ``SessionQueryRecord`` records), so a client
+    summing the deltas of every response it received can telescope them
+    against the service's ``/metrics`` ledger.
+    """
+
+    answer: Optional[PartitionId]
+    objective_value: float
+    status: str
+    objective: str = "minmax"
+    label: str = ""
+    elapsed_seconds: float = 0.0
+    index: Optional[int] = None
+    explain_id: Optional[str] = None
+    distance_delta: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def improved(self) -> bool:
+        """True when a candidate strictly improved the objective."""
+        return self.answer is not None
+
+    @classmethod
+    def from_result(
+        cls,
+        result: IFLSResult,
+        request: Optional[QueryRequest] = None,
+        elapsed_seconds: float = 0.0,
+        distance_delta: Optional[Dict[str, int]] = None,
+        index: Optional[int] = None,
+        explain_id: Optional[str] = None,
+    ) -> "QueryResponse":
+        """Wrap a solver result (with its request's identity fields)."""
+        return cls(
+            answer=result.answer,
+            objective_value=result.objective,
+            status=str(result.status),
+            objective=request.objective if request else "minmax",
+            label=request.label if request else "",
+            elapsed_seconds=elapsed_seconds,
+            index=index,
+            explain_id=explain_id,
+            distance_delta=dict(distance_delta or {}),
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-compatible dictionary (the service wire format)."""
+        payload: Dict[str, Any] = {
+            "answer": self.answer,
+            "objective_value": self.objective_value,
+            "status": self.status,
+            "objective": self.objective,
+        }
+        if self.label:
+            payload["label"] = self.label
+        if self.elapsed_seconds:
+            payload["elapsed_seconds"] = self.elapsed_seconds
+        if self.index is not None:
+            payload["index"] = self.index
+        if self.explain_id is not None:
+            payload["explain_id"] = self.explain_id
+        if self.distance_delta:
+            payload["distance_delta"] = dict(self.distance_delta)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "QueryResponse":
+        """Decode one wire payload; :class:`ProtocolError` on garbage."""
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"response payload must be an object, got "
+                f"{type(payload).__name__}"
+            )
+        try:
+            answer = payload["answer"]
+            return cls(
+                answer=int(answer) if answer is not None else None,
+                objective_value=float(payload["objective_value"]),
+                status=str(payload["status"]),
+                objective=str(payload.get("objective", "minmax")),
+                label=str(payload.get("label", "")),
+                elapsed_seconds=float(
+                    payload.get("elapsed_seconds", 0.0)
+                ),
+                index=payload.get("index"),
+                explain_id=payload.get("explain_id"),
+                distance_delta={
+                    str(key): int(value)
+                    for key, value in payload.get(
+                        "distance_delta", {}
+                    ).items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"malformed response payload: {exc}"
+            ) from exc
+
+
+def as_batch_queries(requests: Sequence[Any]) -> List[Any]:
+    """Normalise a mixed request/legacy batch for the executors.
+
+    Accepts :class:`QueryRequest` and legacy ``BatchQuery`` items in any
+    mix; executors keep operating on ``BatchQuery`` internally so the
+    hot paths and their counters are untouched.
+    """
+    from .session import BatchQuery
+
+    out: List[Any] = []
+    for item in requests:
+        if isinstance(item, QueryRequest):
+            out.append(item.to_batch_query())
+        elif isinstance(item, BatchQuery):
+            out.append(item)
+        else:
+            raise QueryError(
+                "batch items must be QueryRequest or BatchQuery, got "
+                f"{type(item).__name__}"
+            )
+    return out
+
+
+def warn_legacy_call(old: str, new: str) -> None:
+    """Emit the standard deprecation warning for a legacy spelling."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead "
+        "(see the migration table in docs/API.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -374,6 +374,10 @@ class QuerySession:
     ) -> List[IFLSResult]:
         """Answer a whole batch; results always follow submission order.
 
+        ``batch`` may mix legacy :class:`BatchQuery` items with the
+        unified :class:`~repro.core.request.QueryRequest` (converted on
+        entry; the executor hot path is unchanged).
+
         ``workers=1`` (default) answers serially on this session's own
         warm engine — the original code path, byte for byte.
         ``workers > 1`` shards the batch across a process pool
@@ -387,9 +391,11 @@ class QuerySession:
         ``report().cache_entries`` keeps reflecting this process's own
         engine only.
         """
+        from .request import as_batch_queries
+
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
-        batch = list(batch)
+        batch = as_batch_queries(list(batch))
         if workers == 1 or len(batch) <= 1:
             return [
                 self.query(
@@ -439,6 +445,19 @@ class QuerySession:
             max_cache_entries=self.distances.max_cache_entries,
             records=list(self.records),
         )
+
+    def take_records(self) -> List[SessionQueryRecord]:
+        """Return and clear the per-query records collected so far.
+
+        Long-lived executors (the query service's session pools) call
+        this after every flush so per-query deltas can travel in the
+        responses without the record list growing without bound.
+        ``queries_answered`` and the distance ledger keep accumulating;
+        only the record list is drained.
+        """
+        records = self.records
+        self.records = []
+        return records
 
     def invalidate(self) -> None:
         """Drop every memoised distance (the next query runs cold).

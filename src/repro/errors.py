@@ -3,6 +3,13 @@
 All errors raised by the library derive from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still being able to distinguish the failure modes below.
+
+Every class carries an ``http_status`` attribute so the query service
+(:mod:`repro.service`) maps exceptions to HTTP responses in exactly one
+place (:func:`http_status_for`): invalid inputs are client errors
+(4xx), execution failures are server errors (5xx), and a request that
+outlives its deadline is a gateway timeout (504).  Libraries embedding
+repro never need the mapping; it only decides wire status codes.
 """
 
 from __future__ import annotations
@@ -11,9 +18,15 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for every error raised by this library."""
 
+    #: HTTP status the query service answers with when this error
+    #: escapes a request handler.  Input errors override with 4xx.
+    http_status = 500
+
 
 class VenueError(ReproError):
     """The indoor venue definition is structurally invalid."""
+
+    http_status = 400
 
 
 class UnknownEntityError(VenueError, KeyError):
@@ -40,6 +53,8 @@ class IndexError_(ReproError):
 class QueryError(ReproError):
     """An IFLS query was issued with invalid inputs."""
 
+    http_status = 400
+
 
 class EmptyCandidateSetError(QueryError):
     """The candidate location set ``Fn`` is empty."""
@@ -56,4 +71,53 @@ class ParallelExecutionError(QueryError):
     failure surface as a hang or a bare ``BrokenProcessPool``: the
     message names the shard and worker count and chains the original
     worker exception as ``__cause__``.
+
+    Subclasses :class:`QueryError` for backwards compatibility, but it
+    describes an *execution* failure, not bad inputs, so the service
+    answers it as a server error (500), not a client error.
     """
+
+    http_status = 500
+
+
+class ServiceError(ReproError):
+    """The long-lived query service failed outside any one solver.
+
+    Covers lifecycle problems (pool exhausted and closed, server
+    shutting down while requests are queued) and anything else the
+    service layer cannot attribute to a malformed request.
+    """
+
+    http_status = 500
+
+
+class ProtocolError(ServiceError):
+    """A wire request could not be decoded into a :class:`QueryRequest`.
+
+    Malformed JSON, missing required fields, wrong types — everything
+    the service rejects before a solver ever runs.
+    """
+
+    http_status = 400
+
+
+class RequestTimeout(ServiceError):
+    """A request exceeded its deadline before the solver finished.
+
+    The service abandons *waiting* for the answer (the computation may
+    still complete in its worker and warm the session cache); the
+    client receives HTTP 504.
+    """
+
+    http_status = 504
+
+
+def http_status_for(exc: BaseException) -> int:
+    """The HTTP status the service answers ``exc`` with.
+
+    The single place wire status codes are decided: library errors use
+    their class's ``http_status``; anything else is a 500.
+    """
+    if isinstance(exc, ReproError):
+        return exc.http_status
+    return 500

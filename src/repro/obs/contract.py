@@ -143,6 +143,16 @@ SPANS: Dict[str, SpanSpec] = _spans(
         "once per perf-gate suite execution (baseline recording or "
         "comparison run)",
     ),
+    SpanSpec(
+        "service.request",
+        "once per HTTP request the query service answers (any "
+        "endpoint, error responses included)",
+    ),
+    SpanSpec(
+        "service.batch.flush",
+        "once per coalesced batch flushed onto a pooled session "
+        "(wraps the executor call answering the batch)",
+    ),
 )
 
 
@@ -228,5 +238,43 @@ METRICS: Dict[str, MetricSpec] = _metrics(
     MetricSpec(
         "perfgate.drifted_metrics", "counter", "metrics",
         "metrics flagged outside tolerance by a perf-gate comparison",
+    ),
+    MetricSpec(
+        "service.requests", "counter", "requests",
+        "every HTTP request the query service answered (any "
+        "endpoint, error responses included)",
+    ),
+    MetricSpec(
+        "service.errors", "counter", "requests",
+        "requests answered with a non-2xx status (timeouts "
+        "included)",
+    ),
+    MetricSpec(
+        "service.timeouts", "counter", "requests",
+        "requests answered with HTTP 504 after exceeding their "
+        "timeout",
+    ),
+    MetricSpec(
+        "service.request.seconds", "histogram", "seconds",
+        "per-request wall time from parsed head to rendered "
+        "response",
+    ),
+    MetricSpec(
+        "service.batch.size", "histogram", "queries",
+        "queries per coalesced batch flush",
+    ),
+    MetricSpec(
+        "service.batch.flush.seconds", "histogram", "seconds",
+        "per-flush wall time answering one coalesced batch",
+    ),
+    MetricSpec(
+        "service.pool.sessions", "gauge", "sessions",
+        "live sessions of the service's pool after the most recent "
+        "checkout",
+    ),
+    MetricSpec(
+        "service.pool.evictions", "counter", "sessions",
+        "idle sessions whose memos were dropped under the pool's "
+        "cache-byte budget",
     ),
 )

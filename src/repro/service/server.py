@@ -1,0 +1,581 @@
+"""The asyncio HTTP server of the long-lived IFLS query service.
+
+One :class:`IFLSService` owns a venue opened through
+:func:`repro.open_venue`, a :class:`~repro.service.pool.SessionPool`
+of warm sessions over the engine's shared
+:class:`~repro.index.snapshot.IndexSnapshot`, and a
+:class:`~repro.service.batcher.Coalescer` that micro-batches
+concurrent traffic into ``QuerySession.run(..., workers=N)`` calls.
+
+Endpoints
+---------
+``POST /query``
+    One :class:`~repro.core.request.QueryRequest` payload in, one
+    :class:`~repro.core.request.QueryResponse` payload out.  Single
+    queries still travel through the coalescer, so simultaneous
+    clients share a flush (and a warm session).
+``POST /batch``
+    An ordered request array in, ``{"responses": [...]}`` out in the
+    same order.
+``GET /metrics``
+    Live export of the observability contract: the service's
+    :class:`~repro.obs.metrics.MetricsRegistry` snapshot, the pool's
+    merged distance ledger (with invariant check), pool and batcher
+    statistics.
+``GET /health``
+    Liveness + identity (venue, backend, kernel path, uptime).
+``GET /explain/<id>``
+    A stored :class:`~repro.obs.explain.ExplainReport` for a query
+    submitted with ``"explain": true``; the response's ``explain_id``
+    names it.
+
+Errors map to statuses in exactly one place
+(:func:`repro.service.protocol.error_body` over
+:func:`repro.errors.http_status_for`): malformed payloads → 400,
+timeouts → 504, everything unexpected → 500.  Shutdown is graceful by
+default: the listener closes first, in-flight batches drain, then the
+pool retires its sessions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.request import QueryRequest, QueryResponse
+from ..errors import (
+    ProtocolError,
+    QueryError,
+    RequestTimeout,
+    ServiceError,
+)
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..obs.metrics import MetricsRegistry
+from .batcher import Coalescer
+from .pool import SessionPool
+from .protocol import (
+    HttpRequest,
+    content_length,
+    error_body,
+    json_response,
+    parse_batch_payload,
+    parse_head,
+    parse_query_payload,
+    request_id_path,
+)
+
+__all__ = ["IFLSService", "ServiceConfig", "run_service"]
+
+#: How long the server waits for a complete request head + body.
+READ_TIMEOUT_SECONDS = 10.0
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`IFLSService` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8337
+    pool_size: int = 2
+    max_cache_entries: Optional[int] = None
+    cache_bytes_budget: Optional[int] = None
+    flush_window: float = 0.01
+    max_batch: int = 64
+    workers: int = 1
+    request_timeout: Optional[float] = 30.0
+    explain_capacity: int = 128
+
+
+class IFLSService:
+    """A venue resident in memory, answering IFLS queries over HTTP.
+
+    Build one from an :class:`~repro.api.Engine`
+    (``engine.serve(port=0)``) or straight from a venue source::
+
+        service = repro.open_venue("CPH").serve(port=8337)
+        asyncio.run(service.run())
+
+    ``config`` wins when given; otherwise keyword overrides patch a
+    default :class:`ServiceConfig`.
+    """
+
+    def __init__(
+        self,
+        engine,
+        config: Optional[ServiceConfig] = None,
+        **overrides: Any,
+    ) -> None:
+        if config is not None and overrides:
+            raise ServiceError(
+                "pass either a ServiceConfig or keyword overrides, "
+                "not both"
+            )
+        self.engine = engine
+        self.config = config or ServiceConfig(**overrides)
+        self.metrics = MetricsRegistry()
+        self.pool = SessionPool(
+            engine.snapshot(),
+            size=self.config.pool_size,
+            max_cache_entries=self.config.max_cache_entries,
+            cache_bytes_budget=self.config.cache_bytes_budget,
+        )
+        # Flushes get their own executor: on the loop's shared default
+        # executor, blocked application threads could starve the very
+        # flush that would unblock them.
+        self._flush_executor = ThreadPoolExecutor(
+            max_workers=self.config.pool_size,
+            thread_name_prefix="ifls-flush",
+        )
+        self.coalescer = Coalescer(
+            self._run_batch,
+            flush_window=self.config.flush_window,
+            max_batch=self.config.max_batch,
+            executor=self._flush_executor,
+        )
+        self._explain_store: "OrderedDict[str, Dict[str, Any]]" = (
+            OrderedDict()
+        )
+        self._explain_seq = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._previous_metrics: Optional[MetricsRegistry] = None
+        self._owns_metrics = False
+        self._started_monotonic: Optional[float] = None
+        self._inflight = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "IFLSService":
+        """Bind the listener and install the service metrics registry."""
+        if self._server is not None:
+            raise ServiceError("service is already started")
+        self._previous_metrics = _metrics.install(self.metrics)
+        self._owns_metrics = True
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+        )
+        self._started_monotonic = time.monotonic()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the real one)."""
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        """``http://host:port`` of the running listener."""
+        return f"http://{self.config.host}:{self.port}"
+
+    async def run(self) -> None:
+        """Start (if needed) and serve until cancelled, then drain."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.shutdown()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting connections; by default drain in-flight work.
+
+        Draining closes the listener first, lets every accepted request
+        finish (flushing whatever the coalescer holds), then retires
+        the pool.  ``drain=False`` abandons queued work (their futures
+        fail with :class:`~repro.errors.ServiceError`).
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if drain:
+            await self.coalescer.drain()
+            while self._inflight:
+                await asyncio.sleep(0.005)
+        self.pool.close()
+        self._flush_executor.shutdown(wait=drain)
+        if self._owns_metrics:
+            _metrics.install(self._previous_metrics)
+            self._owns_metrics = False
+            self._previous_metrics = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._inflight += 1
+        try:
+            payload = await self._respond(reader)
+            writer.write(payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._inflight -= 1
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, reader: asyncio.StreamReader) -> bytes:
+        """Read one request and produce the full response bytes."""
+        started = time.perf_counter()
+        method, path = "?", "?"
+        try:
+            request = await self._read_request(reader)
+            method, path = request.method, request.path
+            with _trace.span(
+                "service.request", method=method, path=path
+            ):
+                status, body = await self._dispatch(request)
+        except Exception as exc:  # noqa: BLE001 - the edge maps all
+            status, body = error_body(exc)
+            _metrics.add("service.errors")
+            if isinstance(exc, RequestTimeout):
+                _metrics.add("service.timeouts")
+        _metrics.add("service.requests")
+        _metrics.record(
+            "service.request.seconds",
+            time.perf_counter() - started,
+        )
+        return json_response(status, body)
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> HttpRequest:
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"),
+                timeout=READ_TIMEOUT_SECONDS,
+            )
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError(
+                f"connection closed mid-request ({exc})"
+            )
+        except asyncio.LimitOverrunError:
+            raise ProtocolError("request head too large")
+        except asyncio.TimeoutError:
+            raise ProtocolError("timed out reading the request")
+        request = parse_head(head)
+        length = content_length(request)
+        if length:
+            try:
+                request.body = await asyncio.wait_for(
+                    reader.readexactly(length),
+                    timeout=READ_TIMEOUT_SECONDS,
+                )
+            except (
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+            ) as exc:
+                raise ProtocolError(
+                    f"request body truncated ({exc})"
+                )
+        return request
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, request: HttpRequest
+    ) -> Tuple[int, Any]:
+        path = request.path.split("?", 1)[0]
+        if path == "/query":
+            if request.method != "POST":
+                return self._method_not_allowed(request)
+            query = parse_query_payload(request.json())
+            self._validate_for_service(query)
+            response = await self._answer(query)
+            return 200, response.to_payload()
+        if path == "/batch":
+            if request.method != "POST":
+                return self._method_not_allowed(request)
+            queries = parse_batch_payload(request.json())
+            for query in queries:
+                self._validate_for_service(query)
+            responses = await self._answer_many(queries)
+            return 200, {
+                "responses": [r.to_payload() for r in responses]
+            }
+        if path == "/metrics":
+            if request.method != "GET":
+                return self._method_not_allowed(request)
+            return 200, self.metrics_payload()
+        if path == "/health":
+            if request.method != "GET":
+                return self._method_not_allowed(request)
+            return 200, self.health_payload()
+        explain_id = request_id_path(path, "/explain/")
+        if explain_id is not None:
+            if request.method != "GET":
+                return self._method_not_allowed(request)
+            report = self._explain_store.get(explain_id)
+            if report is None:
+                return 404, {
+                    "error": "NotFound",
+                    "detail": (
+                        f"no stored explain report {explain_id!r}"
+                    ),
+                    "status": 404,
+                }
+            return 200, {"explain_id": explain_id, "report": report}
+        return 404, {
+            "error": "NotFound",
+            "detail": f"no route for {request.method} {path}",
+            "status": 404,
+        }
+
+    @staticmethod
+    def _method_not_allowed(
+        request: HttpRequest,
+    ) -> Tuple[int, Any]:
+        return 405, {
+            "error": "MethodNotAllowed",
+            "detail": (
+                f"{request.method} is not supported on "
+                f"{request.path}"
+            ),
+            "status": 405,
+        }
+
+    @staticmethod
+    def _validate_for_service(request: QueryRequest) -> None:
+        """Reject per-request shapes the batched path cannot answer
+        *before* they join a flush (a bad request must never fail its
+        co-batched strangers)."""
+        if request.algorithm != "efficient":
+            raise QueryError(
+                "the query service answers the 'efficient' algorithm "
+                f"only, got {request.algorithm!r}; use the library "
+                "API for baseline/bruteforce runs"
+            )
+
+    # ------------------------------------------------------------------
+    # Answering
+    # ------------------------------------------------------------------
+    async def _answer(self, request: QueryRequest) -> QueryResponse:
+        """Submit one request to the coalescer under its timeout."""
+        timeout = (
+            request.timeout_seconds
+            if request.timeout_seconds is not None
+            else self.config.request_timeout
+        )
+        submission = self.coalescer.submit(request)
+        if timeout is None:
+            return await submission
+        try:
+            return await asyncio.wait_for(submission, timeout)
+        except asyncio.TimeoutError:
+            raise RequestTimeout(
+                f"query did not complete within {timeout}s"
+            )
+
+    async def _answer_many(
+        self, requests: List[QueryRequest]
+    ) -> List[QueryResponse]:
+        outcomes = await asyncio.gather(
+            *(self._answer(request) for request in requests),
+            return_exceptions=True,
+        )
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return list(outcomes)
+
+    def _run_batch(
+        self, requests: List[QueryRequest]
+    ) -> List[QueryResponse]:
+        """One coalesced flush: answer everything on a pooled session.
+
+        Runs in a worker thread (the coalescer's executor call).  The
+        borrowed session is exclusively ours until checkin, so its
+        ``DistanceStats`` ledger sees single-threaded increments only;
+        the pool folds the delta into its merged ledger afterwards.
+        """
+        responses: List[Optional[QueryResponse]] = [None] * len(
+            requests
+        )
+        plain = [
+            i for i, r in enumerate(requests) if not r.explain
+        ]
+        explained = [
+            i for i, r in enumerate(requests) if r.explain
+        ]
+        with self.pool.session() as session:
+            if plain:
+                results = session.run(
+                    [requests[i] for i in plain],
+                    workers=self.config.workers,
+                )
+                records = session.take_records()
+                for j, i in enumerate(plain):
+                    record = (
+                        records[j] if j < len(records) else None
+                    )
+                    responses[i] = QueryResponse.from_result(
+                        results[j],
+                        requests[i],
+                        elapsed_seconds=(
+                            record.elapsed_seconds if record else 0.0
+                        ),
+                        distance_delta=(
+                            dict(record.distance_delta)
+                            if record
+                            else {}
+                        ),
+                        index=i,
+                    )
+            for i in explained:
+                responses[i] = self._run_explained(
+                    session, requests[i], i
+                )
+        return [r for r in responses if r is not None]
+
+    def _run_explained(
+        self, session, request: QueryRequest, index: int
+    ) -> QueryResponse:
+        """Answer one ``"explain": true`` request, storing its report."""
+        session.explain = True
+        try:
+            result = session.query(
+                request.clients,
+                request.facilities,
+                objective=request.objective,
+                options=request.options(),
+                label=request.label,
+            )
+        finally:
+            session.explain = False
+        report = (
+            session.explain_reports.pop()
+            if session.explain_reports
+            else None
+        )
+        records = session.take_records()
+        record = records[-1] if records else None
+        explain_id = (
+            self._store_explain(report.to_dict())
+            if report is not None
+            else None
+        )
+        return QueryResponse.from_result(
+            result,
+            request,
+            elapsed_seconds=(
+                record.elapsed_seconds if record else 0.0
+            ),
+            distance_delta=(
+                dict(record.distance_delta) if record else {}
+            ),
+            index=index,
+            explain_id=explain_id,
+        )
+
+    def _store_explain(self, report: Dict[str, Any]) -> str:
+        """Keep a report retrievable, bounded by ``explain_capacity``."""
+        self._explain_seq += 1
+        explain_id = f"q{self._explain_seq}"
+        self._explain_store[explain_id] = report
+        while len(self._explain_store) > self.config.explain_capacity:
+            self._explain_store.popitem(last=False)
+        return explain_id
+
+    # ------------------------------------------------------------------
+    # Introspection payloads
+    # ------------------------------------------------------------------
+    def health_payload(self) -> Dict[str, Any]:
+        """The ``GET /health`` body."""
+        uptime = (
+            time.monotonic() - self._started_monotonic
+            if self._started_monotonic is not None
+            else 0.0
+        )
+        return {
+            "status": "draining" if self._draining else "ok",
+            "venue": self.engine.venue.name,
+            "backend": self.engine.backend,
+            "use_kernels": self.engine.use_kernels,
+            "uptime_seconds": uptime,
+            "queries_answered": self.coalescer.queries_answered,
+        }
+
+    def metrics_payload(self) -> Dict[str, Any]:
+        """The ``GET /metrics`` body: the live obs-contract export."""
+        ledger = self.pool.ledger()
+        return {
+            "metrics": self.metrics.snapshot(),
+            "ledger": ledger,
+            "ledger_violations": self.pool.ledger_violations(),
+            "pool": asdict(self.pool.stats()),
+            "batcher": {
+                "batches_flushed": self.coalescer.batches_flushed,
+                "queries_answered": self.coalescer.queries_answered,
+                "pending": self.coalescer.pending,
+            },
+        }
+
+
+def run_service(
+    engine, config: Optional[ServiceConfig] = None, **overrides: Any
+) -> None:
+    """Blocking convenience runner with signal-driven graceful drain.
+
+    Serves until ``SIGINT``/``SIGTERM`` (or KeyboardInterrupt where
+    signal handlers are unavailable), then drains in-flight batches
+    before returning — the CLI entry point of ``ifls serve``.
+    """
+    service = IFLSService(engine, config=config, **overrides)
+
+    async def _main() -> None:
+        import signal
+
+        await service.start()
+        print(
+            f"ifls service listening on {service.address} "
+            f"(venue {service.engine.venue.name!r}, "
+            f"pool {service.config.pool_size})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signame in ("SIGINT", "SIGTERM"):
+            try:
+                loop.add_signal_handler(
+                    getattr(signal, signame), stop.set
+                )
+            except (NotImplementedError, OSError):
+                pass
+        server_task = asyncio.ensure_future(service.run())
+        stopper = asyncio.ensure_future(stop.wait())
+        await asyncio.wait(
+            {server_task, stopper},
+            return_when=asyncio.FIRST_COMPLETED,
+        )
+        stopper.cancel()
+        server_task.cancel()
+        await asyncio.gather(server_task, return_exceptions=True)
+        await service.shutdown()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,220 @@
+"""QueryRequest/QueryResponse: validation, codec, legacy bridges."""
+
+import warnings
+
+import pytest
+
+from repro import (
+    BatchQuery,
+    EfficientOptions,
+    IFLSEngine,
+    QueryRequest,
+    QueryResponse,
+    TOP_DOWN,
+)
+from repro.core.request import as_batch_queries
+from repro.datasets import small_office
+from repro.errors import ProtocolError, QueryError
+from tests.conftest import facility_split, make_clients
+
+
+@pytest.fixture(scope="module")
+def office():
+    venue = small_office(levels=2, rooms=24)
+    engine = IFLSEngine(venue)
+    rooms = sorted(
+        p.partition_id for p in venue.partitions()
+        if p.kind.value == "room"
+    )
+    return venue, engine, rooms
+
+
+def _request(venue, rooms, seed=0, **kwargs):
+    return QueryRequest(
+        clients=tuple(make_clients(venue, 8, seed=seed)),
+        facilities=facility_split(rooms, 3, 5, seed=seed),
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_unknown_objective_rejected(self, office):
+        venue, _engine, rooms = office
+        with pytest.raises(QueryError):
+            _request(venue, rooms, objective="fastest")
+
+    def test_unknown_algorithm_rejected(self, office):
+        venue, _engine, rooms = office
+        with pytest.raises(QueryError):
+            _request(venue, rooms, algorithm="magic")
+
+    def test_unknown_traversal_rejected(self, office):
+        venue, _engine, rooms = office
+        with pytest.raises(QueryError):
+            _request(venue, rooms, traversal="sideways")
+
+    def test_nonpositive_timeout_rejected(self, office):
+        venue, _engine, rooms = office
+        with pytest.raises(QueryError):
+            _request(venue, rooms, timeout_seconds=0.0)
+
+    def test_clients_coerced_to_tuple(self, office):
+        venue, _engine, rooms = office
+        request = QueryRequest(
+            clients=make_clients(venue, 4, seed=1),
+            facilities=facility_split(rooms, 2, 4, seed=1),
+        )
+        assert isinstance(request.clients, tuple)
+
+
+class TestOptionsBridge:
+    def test_all_default_request_resolves_to_none(self, office):
+        """Fully-default requests must take the legacy options=None
+        path so cold counters stay bit-identical."""
+        venue, _engine, rooms = office
+        assert _request(venue, rooms).options() is None
+
+    def test_ablation_fields_resolve_to_options(self, office):
+        venue, _engine, rooms = office
+        request = _request(
+            venue, rooms, prune_clients=False, traversal=TOP_DOWN
+        )
+        options = request.options()
+        assert isinstance(options, EfficientOptions)
+        assert options.prune_clients is False
+        assert options.traversal == TOP_DOWN
+
+    def test_from_legacy_round_trips_options(self, office):
+        venue, _engine, rooms = office
+        base = _request(venue, rooms)
+        legacy = QueryRequest.from_legacy(
+            base.clients,
+            base.facilities,
+            objective="mindist",
+            options=EfficientOptions(group_by_partition=False),
+            label="legacy",
+        )
+        assert legacy.objective == "mindist"
+        assert legacy.label == "legacy"
+        assert legacy.group_by_partition is False
+
+    def test_to_batch_query_rejects_non_efficient(self, office):
+        venue, _engine, rooms = office
+        request = _request(venue, rooms, algorithm="baseline")
+        with pytest.raises(QueryError):
+            request.to_batch_query()
+
+
+class TestWireCodec:
+    def test_request_payload_round_trip(self, office):
+        venue, _engine, rooms = office
+        request = _request(
+            venue, rooms, seed=2, objective="maxsum", label="rt",
+            prune_clients=False, timeout_seconds=5.0, explain=True,
+        )
+        again = QueryRequest.from_payload(request.to_payload())
+        assert again == request
+
+    def test_default_fields_stay_off_the_wire(self, office):
+        venue, _engine, rooms = office
+        payload = _request(venue, rooms).to_payload()
+        for key in ("algorithm", "label", "prune_clients",
+                    "traversal", "timeout_seconds", "explain"):
+            assert key not in payload
+
+    def test_from_payload_rejects_non_dict(self):
+        with pytest.raises(ProtocolError):
+            QueryRequest.from_payload([1, 2, 3])
+
+    def test_from_payload_rejects_malformed_clients(self):
+        with pytest.raises(ProtocolError):
+            QueryRequest.from_payload(
+                {"clients": [{"id": "x"}], "existing": [],
+                 "candidates": []}
+            )
+
+    def test_from_payload_wraps_validation_errors(self, office):
+        venue, _engine, rooms = office
+        payload = _request(venue, rooms).to_payload()
+        payload["objective"] = "fastest"
+        with pytest.raises(ProtocolError):
+            QueryRequest.from_payload(payload)
+
+    def test_response_payload_round_trip(self):
+        response = QueryResponse(
+            answer=17,
+            objective_value=45.5,
+            status="OPTIMAL",
+            objective="minmax",
+            label="rt",
+            elapsed_seconds=0.25,
+            index=3,
+            explain_id="q7",
+            distance_delta={"distance_computations": 12},
+        )
+        again = QueryResponse.from_payload(response.to_payload())
+        assert again == response
+
+    def test_response_from_payload_rejects_missing_fields(self):
+        with pytest.raises(ProtocolError):
+            QueryResponse.from_payload({"answer": 1})
+
+
+class TestExecutorBridges:
+    def test_as_batch_queries_accepts_mixed_items(self, office):
+        venue, _engine, rooms = office
+        request = _request(venue, rooms)
+        legacy = BatchQuery(
+            request.clients, request.facilities, objective="mindist"
+        )
+        out = as_batch_queries([request, legacy])
+        assert all(isinstance(item, BatchQuery) for item in out)
+        assert out[1] is legacy
+
+    def test_as_batch_queries_rejects_foreign_items(self):
+        with pytest.raises(QueryError):
+            as_batch_queries(["not-a-query"])
+
+    def test_session_run_accepts_requests(self, office):
+        venue, engine, rooms = office
+        request = _request(venue, rooms, seed=4)
+        want = engine.query(
+            request.clients, request.facilities, cold=True
+        )
+        session = engine.session()
+        got = session.run([request])[0]
+        assert (got.answer, got.objective) == (
+            want.answer, want.objective
+        )
+
+    def test_take_records_drains_but_keeps_totals(self, office):
+        venue, engine, rooms = office
+        session = engine.session()
+        session.run([_request(venue, rooms, seed=5)])
+        taken = session.take_records()
+        assert len(taken) == 1
+        assert session.records == []
+        assert session.queries_answered == 1
+        # Ledger keeps accumulating; only the record list drained.
+        assert sum(session.report().totals.values()) > 0
+
+
+class TestDeprecationShim:
+    def test_engine_legacy_query_warns_and_answers(self, office):
+        venue, rooms = office[0], office[2]
+        from repro.api import Engine
+
+        engine = Engine(IFLSEngine(venue))
+        request = _request(venue, rooms, seed=6)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = engine.query(request.clients, request.facilities)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            unified = engine.query(request)  # no warning
+        assert (legacy.answer, legacy.objective_value) == (
+            unified.answer, unified.objective_value
+        )

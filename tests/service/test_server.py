@@ -1,0 +1,313 @@
+"""In-process integration tests for the HTTP query service.
+
+The service runs on its own event loop in a background thread; tests
+speak real HTTP over localhost sockets.  Client requests run on the
+test thread (or a dedicated client pool for the concurrency tests) —
+never on the loop's default executor, which the service does not use
+either (its flushes have a dedicated executor precisely so blocked
+clients cannot starve them).
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import IFLSEngine, QueryRequest, QueryResponse, open_venue
+from repro.service import IFLSService
+from tests.conftest import facility_split, make_clients
+
+
+class ServiceHarness:
+    """One IFLSService on a private event loop + HTTP helpers."""
+
+    def __init__(self, engine, **overrides):
+        overrides.setdefault("port", 0)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self.loop.run_forever, daemon=True
+        )
+        self.thread.start()
+        self.service = IFLSService(engine, **overrides)
+        self.call(self.service.start())
+        self.port = self.service.port
+
+    def call(self, coro, timeout=60.0):
+        return asyncio.run_coroutine_threadsafe(
+            coro, self.loop
+        ).result(timeout)
+
+    def request(self, method, path, body=None, timeout=60.0):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", self.port, timeout=timeout
+        )
+        try:
+            if isinstance(body, (dict, list)):
+                body = json.dumps(body).encode("utf-8")
+            conn.request(method, path, body=body)
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def close(self):
+        self.call(self.service.shutdown())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10.0)
+        self.loop.close()
+
+
+@pytest.fixture(scope="module")
+def rooms(office_venue):
+    return sorted(
+        p.partition_id for p in office_venue.partitions()
+        if p.kind.value == "room"
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(office_venue, rooms):
+    requests = []
+    for i in range(10):
+        requests.append(
+            QueryRequest(
+                clients=tuple(
+                    make_clients(office_venue, 20, seed=500 + i)
+                ),
+                facilities=facility_split(rooms, 3, 6, seed=500 + i),
+                objective=("minmax", "mindist", "maxsum")[i % 3],
+                label=f"w{i}",
+            )
+        )
+    return requests
+
+
+@pytest.fixture(scope="module")
+def oracle(office_venue, workload):
+    """Serial cold answers the service must match bit-identically."""
+    engine = IFLSEngine(office_venue)
+    return [
+        engine.query(
+            r.clients, r.facilities, objective=r.objective, cold=True
+        )
+        for r in workload
+    ]
+
+
+@pytest.fixture(scope="module")
+def harness(office_venue):
+    h = ServiceHarness(
+        open_venue(office_venue), flush_window=0.005, pool_size=2
+    )
+    yield h
+    h.close()
+
+
+class TestQueryEndpoint:
+    def test_concurrent_clients_match_serial_oracle(
+        self, harness, workload, oracle
+    ):
+        def post(request):
+            return harness.request(
+                "POST", "/query", request.to_payload()
+            )
+
+        with ThreadPoolExecutor(max_workers=8) as clients:
+            outcomes = list(clients.map(post, workload))
+        for (status, payload), want in zip(outcomes, oracle):
+            assert status == 200
+            response = QueryResponse.from_payload(payload)
+            assert response.answer == want.answer
+            assert response.objective_value == want.objective
+            assert response.status == str(want.status)
+
+    def test_malformed_json_is_400_protocol_error(self, harness):
+        status, body = harness.request(
+            "POST", "/query", body=b"{definitely not json"
+        )
+        assert status == 400
+        assert body["error"] == "ProtocolError"
+        assert body["status"] == 400
+
+    def test_invalid_request_shape_is_400(self, harness):
+        status, body = harness.request(
+            "POST", "/query", {"clients": "nope"}
+        )
+        assert status == 400
+        assert body["error"] == "ProtocolError"
+
+    def test_non_efficient_algorithm_is_400(
+        self, harness, workload
+    ):
+        payload = workload[0].to_payload()
+        payload["algorithm"] = "baseline"
+        status, body = harness.request("POST", "/query", payload)
+        assert status == 400
+        assert body["error"] == "QueryError"
+        assert "efficient" in body["detail"]
+
+    def test_tiny_timeout_is_504(self, harness, workload):
+        payload = workload[0].to_payload()
+        payload["timeout_seconds"] = 1e-6
+        status, body = harness.request("POST", "/query", payload)
+        assert status == 504
+        assert body["error"] == "RequestTimeout"
+
+
+class TestBatchEndpoint:
+    def test_batch_preserves_request_order(
+        self, harness, workload, oracle
+    ):
+        status, body = harness.request(
+            "POST",
+            "/batch",
+            {"queries": [r.to_payload() for r in workload]},
+        )
+        assert status == 200
+        responses = [
+            QueryResponse.from_payload(p) for p in body["responses"]
+        ]
+        assert [r.label for r in responses] == [
+            r.label for r in workload
+        ]
+        for response, want in zip(responses, oracle):
+            assert response.answer == want.answer
+            assert response.objective_value == want.objective
+
+    def test_empty_batch_is_400(self, harness):
+        status, body = harness.request("POST", "/batch", [])
+        assert status == 400
+        assert body["error"] == "ProtocolError"
+
+
+class TestExplainEndpoint:
+    def test_explained_query_stores_retrievable_report(
+        self, harness, workload
+    ):
+        payload = workload[1].to_payload()
+        payload["explain"] = True
+        status, body = harness.request("POST", "/query", payload)
+        assert status == 200
+        explain_id = body["explain_id"]
+        assert explain_id
+        status, stored = harness.request(
+            "GET", f"/explain/{explain_id}"
+        )
+        assert status == 200
+        assert stored["explain_id"] == explain_id
+        assert stored["report"]["answer"] == body["answer"]
+
+    def test_unknown_explain_id_is_404(self, harness):
+        status, body = harness.request("GET", "/explain/nosuch")
+        assert status == 404
+        assert body["error"] == "NotFound"
+
+
+class TestIntrospection:
+    def test_health_reports_identity(self, harness, office_venue):
+        status, body = harness.request("GET", "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["venue"] == office_venue.name
+        assert body["uptime_seconds"] >= 0.0
+        assert isinstance(body["queries_answered"], int)
+
+    def test_metrics_ledger_telescopes_to_responses(
+        self, harness, workload
+    ):
+        """The /metrics merged ledger grows by exactly the sum of the
+        per-response distance deltas — no drops, no double counts."""
+        _, before = harness.request("GET", "/metrics")
+        summed = {}
+        for request in workload[:4]:
+            status, payload = harness.request(
+                "POST", "/query", request.to_payload()
+            )
+            assert status == 200
+            for key, value in payload["distance_delta"].items():
+                summed[key] = summed.get(key, 0) + value
+        _, after = harness.request("GET", "/metrics")
+        assert after["ledger_violations"] == []
+        grown = {
+            key: after["ledger"].get(key, 0)
+            - before["ledger"].get(key, 0)
+            for key in after["ledger"]
+        }
+        assert {k: v for k, v in grown.items() if v} == {
+            k: v for k, v in summed.items() if v
+        }
+
+    def test_metrics_exports_contract_names(self, harness):
+        status, body = harness.request("GET", "/metrics")
+        assert status == 200
+        metrics = body["metrics"]
+        assert "service.requests" in metrics["counters"]
+        assert "service.request.seconds" in metrics["histograms"]
+        assert "service.batch.size" in metrics["histograms"]
+        assert "service.pool.sessions" in metrics["gauges"]
+        assert body["batcher"]["queries_answered"] >= 1
+        assert body["pool"]["created"] >= 1
+
+
+class TestRouting:
+    def test_unknown_route_is_404(self, harness):
+        status, body = harness.request("GET", "/nope")
+        assert status == 404
+        assert body["error"] == "NotFound"
+
+    def test_wrong_method_is_405(self, harness):
+        for method, path in (
+            ("GET", "/query"),
+            ("GET", "/batch"),
+            ("POST", "/metrics"),
+            ("POST", "/health"),
+        ):
+            status, body = harness.request(method, path)
+            assert status == 405, (method, path)
+            assert body["error"] == "MethodNotAllowed"
+
+
+class TestGracefulShutdown:
+    def test_shutdown_drains_inflight_requests(
+        self, office_venue, workload, oracle
+    ):
+        """Queries accepted before shutdown still get correct answers;
+        the pool ledger survives the drain clean."""
+        harness = ServiceHarness(
+            open_venue(office_venue),
+            flush_window=0.5,  # wide window: requests queue up
+            pool_size=1,
+        )
+        try:
+            def post(request):
+                return harness.request(
+                    "POST", "/query", request.to_payload()
+                )
+
+            with ThreadPoolExecutor(max_workers=6) as clients:
+                futures = [
+                    clients.submit(post, r) for r in workload[:6]
+                ]
+                # Let the requests reach the coalescer's window, then
+                # drain while they are still pending.
+                import time
+
+                time.sleep(0.15)
+                harness.call(harness.service.shutdown())
+                outcomes = [f.result(timeout=60.0) for f in futures]
+            for (status, payload), want in zip(outcomes, oracle):
+                assert status == 200
+                assert payload["answer"] == want.answer
+            assert harness.service.pool.ledger_violations() == []
+            assert (
+                harness.service.coalescer.queries_answered == 6
+            )
+            with pytest.raises(OSError):
+                harness.request("GET", "/health", timeout=2.0)
+        finally:
+            harness.loop.call_soon_threadsafe(harness.loop.stop)
+            harness.thread.join(timeout=10.0)
+            harness.loop.close()

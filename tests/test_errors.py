@@ -4,10 +4,15 @@ import pytest
 
 from repro import (
     DisconnectedVenueError,
+    ParallelExecutionError,
+    ProtocolError,
     QueryError,
     ReproError,
+    RequestTimeout,
+    ServiceError,
     UnreachableFacilityError,
     VenueError,
+    http_status_for,
 )
 from repro.errors import (
     EmptyCandidateSetError,
@@ -25,6 +30,10 @@ def test_all_errors_derive_from_repro_error():
         QueryError,
         EmptyCandidateSetError,
         UnreachableFacilityError,
+        ParallelExecutionError,
+        ServiceError,
+        ProtocolError,
+        RequestTimeout,
     ):
         assert issubclass(exc, ReproError)
 
@@ -44,3 +53,33 @@ def test_disconnected_is_venue_error():
 def test_catch_all_with_base_class():
     with pytest.raises(ReproError):
         raise QueryError("boom")
+
+
+class TestHttpStatusMapping:
+    def test_input_errors_are_client_errors(self):
+        for exc in (VenueError, QueryError, EmptyCandidateSetError,
+                    ProtocolError):
+            assert exc.http_status == 400, exc
+
+    def test_execution_failures_are_server_errors(self):
+        # ParallelExecutionError stays a QueryError subclass for
+        # compatibility, but it describes an execution failure.
+        assert issubclass(ParallelExecutionError, QueryError)
+        for exc in (ReproError, ServiceError, ParallelExecutionError):
+            assert exc.http_status == 500, exc
+
+    def test_timeout_is_gateway_timeout(self):
+        assert RequestTimeout.http_status == 504
+
+    def test_http_status_for_uses_instance_class(self):
+        assert http_status_for(ProtocolError("bad json")) == 400
+        assert http_status_for(RequestTimeout("late")) == 504
+        assert http_status_for(ParallelExecutionError("shard")) == 500
+
+    def test_http_status_for_foreign_exceptions_is_500(self):
+        assert http_status_for(ValueError("nope")) == 500
+        assert http_status_for(KeyError("missing")) == 500
+
+    def test_protocol_and_timeout_are_service_errors(self):
+        assert issubclass(ProtocolError, ServiceError)
+        assert issubclass(RequestTimeout, ServiceError)

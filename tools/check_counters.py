@@ -21,6 +21,10 @@ asserts the structural invariants of :class:`QueryStats` /
 * a sharded parallel run returns the serial answers, and its merged
   per-worker totals both satisfy the ledger identities and equal the
   sum of the merged per-query records;
+* the service :class:`SessionPool`'s merged ledger (per-session
+  deltas folded in at checkin) satisfies the same identities, equals
+  the sum of the per-query deltas, and pooled answers are identical
+  to the cold oracle;
 * EXPLAIN attribution: for every objective (and the baseline), the
   per-phase *own* counter deltas of ``engine.explain(...)`` sum
   exactly to the query's top-level :class:`DistanceStats` ledger;
@@ -258,6 +262,61 @@ def run_checks() -> List[str]:
                 f"{label}: phase-attributed counters do not sum to "
                 f"the query ledger ({attributed} != {ledger})"
             )
+
+    # Service session pool: the merged pool ledger must satisfy the
+    # same identities as a single engine's, equal the sum of the
+    # per-response deltas, and answer exactly like the cold engine.
+    from repro.api import Engine
+    from repro.core.request import QueryRequest
+    from repro.service.pool import SessionPool
+
+    facade = Engine(engine)
+    requests = []
+    for i in range(6):
+        pool_rng = random.Random(0x9D0 + i)
+        requests.append(
+            QueryRequest(
+                clients=tuple(uniform_clients(venue, 25, pool_rng)),
+                facilities=random_facility_sets(venue, 3, 6, pool_rng),
+                objective=("minmax", "mindist", "maxsum")[i % 3],
+            )
+        )
+    pool = SessionPool(facade.snapshot(), size=2)
+    summed = {}
+    for i, request in enumerate(requests):
+        with pool.session() as session:
+            result = session.query(
+                request.clients,
+                request.facilities,
+                objective=request.objective,
+            )
+        record = session.take_records()[-1]
+        for key, value in record.distance_delta.items():
+            summed[key] = summed.get(key, 0) + value
+        oracle = engine.query(
+            request.clients,
+            request.facilities,
+            objective=request.objective,
+            cold=True,
+        )
+        if (result.answer, result.objective) != (
+            oracle.answer, oracle.objective
+        ):
+            violations.append(
+                f"pool/q{i}: pooled answer differs from the cold "
+                f"oracle (({result.answer}, {result.objective}) != "
+                f"({oracle.answer}, {oracle.objective}))"
+            )
+    for message in pool.ledger_violations():
+        violations.append(f"pool/ledger: {message}")
+    ledger = {k: v for k, v in pool.ledger().items() if v}
+    summed = {k: v for k, v in summed.items() if v}
+    if summed != ledger:
+        violations.append(
+            "pool: per-response deltas do not sum to the merged "
+            f"pool ledger ({summed} != {ledger})"
+        )
+    pool.close()
 
     # Kernel-vs-scalar ledger equality (skipped when numpy is absent).
     from repro.index import kernels
