@@ -45,6 +45,9 @@ __all__ = [
     "EXACT",
     "WALL",
     "DEFAULT_WALL_TOLERANCE",
+    "MATRIX_ALGORITHMS",
+    "MATRIX_BACKENDS",
+    "MATRIX_VENUES",
     "SUITES",
     "Baseline",
     "GateEntry",
@@ -230,10 +233,161 @@ def _suite_small() -> Dict[str, MetricSample]:
     return metrics
 
 
+#: Venue axis of the ``matrix`` suite: the smallest real venue plus
+#: the mid-sized default one, so the cross-index grid stays cheap
+#: enough to gate on every CI run.
+MATRIX_VENUES = ("CPH", "MC")
+
+#: Algorithm axis: the paper's two MinMax solvers plus the Section-7
+#: objective extensions (answered by the efficient approach).
+MATRIX_ALGORITHMS = ("efficient", "baseline", "mindist", "maxsum")
+
+#: Backend axis for door-to-door resolution (viptree is the only one
+#: answering full IFLS queries; the others are d2d-only).
+MATRIX_BACKENDS = ("viptree", "iptree", "doortable")
+
+#: Fixed matrix workload: |C| / |Fe| / |Fn| / random door pairs.
+MATRIX_CLIENTS = 120
+MATRIX_FE = 10
+MATRIX_FN = 15
+MATRIX_D2D_PAIRS = 200
+
+
+def _suite_matrix() -> Dict[str, MetricSample]:
+    """The cross-index ``matrix`` suite: backend x algorithm x venue.
+
+    Three grids, all through the :func:`repro.api.open_venue` facade so
+    the suite measures exactly what library users get:
+
+    * **IFLS grid** (``matrix.<venue>.viptree.<algorithm>.*``) — every
+      algorithm/objective of :data:`MATRIX_ALGORITHMS` answered cold on
+      each venue; exact distance-computation counts and answers, wall
+      seconds per cell;
+    * **door-to-door grid** (``matrix.<venue>.<backend>.d2d.*``) — the
+      same seeded door pairs resolved through each backend; the
+      distance checksum is exact (all backends index one graph, so any
+      divergence is a correctness bug), seconds describe this host;
+    * **kernel ablation** (``kernels.<venue>.*``) — the efficient
+      MinMax query on the array-kernel path vs the scalar oracle over
+      one shared tree; ``distance_computations`` is recorded from the
+      scalar run and asserted identical on the kernel run (the ledger
+      is path-independent), so the report's kernel-vs-scalar table can
+      show a speedup over provably identical work.
+
+    Everything is seeded; exact metrics reproduce on any machine.  The
+    kernel-path entries are only measured where numpy is importable —
+    matching the committed baseline, which is recorded with kernels on.
+    """
+    import random
+
+    from ..api import open_venue
+    from ..core.queries import IFLSEngine
+    from ..datasets import random_facility_sets, uniform_clients
+    from ..datasets.venues import venue_by_name
+    from ..index import kernels as _kernels
+
+    metrics: Dict[str, MetricSample] = {}
+    for venue_name in MATRIX_VENUES:
+        engine = open_venue(venue_name)
+        rng = random.Random(zlib_seed("matrix", venue_name))
+        facilities = random_facility_sets(
+            engine.venue, MATRIX_FE, MATRIX_FN, rng
+        )
+        clients = uniform_clients(engine.venue, MATRIX_CLIENTS, rng)
+
+        # -- IFLS grid: every algorithm/objective on the viptree backend.
+        for algorithm in MATRIX_ALGORITHMS:
+            solver = "baseline" if algorithm == "baseline" else "efficient"
+            objective = (
+                algorithm
+                if algorithm in ("mindist", "maxsum")
+                else "minmax"
+            )
+            started = time.perf_counter()
+            result = engine.core.query(
+                clients,
+                facilities,
+                algorithm=solver,
+                objective=objective,
+                cold=True,
+            )
+            seconds = time.perf_counter() - started
+            prefix = f"matrix.{venue_name}.viptree.{algorithm}"
+            metrics[f"{prefix}.distance_computations"] = (
+                float(result.stats.distance.distance_computations),
+                EXACT,
+            )
+            metrics[f"{prefix}.answer"] = (
+                float(-1 if result.answer is None else result.answer),
+                EXACT,
+            )
+            metrics[f"{prefix}.seconds"] = (seconds, WALL)
+
+        # -- d2d grid: the same seeded pairs through every backend.
+        doors = sorted(engine.venue.door_ids())
+        pair_rng = random.Random(zlib_seed("matrix-d2d", venue_name))
+        pairs = [
+            tuple(pair_rng.sample(doors, 2))
+            for _ in range(MATRIX_D2D_PAIRS)
+        ]
+        for backend in MATRIX_BACKENDS:
+            started = time.perf_counter()
+            total = sum(
+                engine.door_to_door(a, b, backend=backend)
+                for a, b in pairs
+            )
+            seconds = time.perf_counter() - started
+            prefix = f"matrix.{venue_name}.{backend}.d2d"
+            metrics[f"{prefix}.checksum"] = (round(total, 6), EXACT)
+            metrics[f"{prefix}.seconds"] = (seconds, WALL)
+
+        # -- kernel ablation: array path vs scalar oracle, shared tree.
+        scalar = IFLSEngine(
+            engine.venue, tree=engine.tree, use_kernels=False
+        )
+        started = time.perf_counter()
+        scalar_result = scalar.query(clients, facilities, cold=True)
+        scalar_seconds = time.perf_counter() - started
+        metrics[f"kernels.{venue_name}.distance_computations"] = (
+            float(scalar_result.stats.distance.distance_computations),
+            EXACT,
+        )
+        metrics[f"kernels.{venue_name}.off.seconds"] = (
+            scalar_seconds, WALL,
+        )
+        if _kernels.available():
+            fast = IFLSEngine(
+                engine.venue, tree=engine.tree, use_kernels=True
+            )
+            started = time.perf_counter()
+            fast_result = fast.query(clients, facilities, cold=True)
+            fast_seconds = time.perf_counter() - started
+            if (
+                fast_result.stats.distance.distance_computations
+                != scalar_result.stats.distance.distance_computations
+            ):
+                raise RuntimeError(
+                    f"matrix suite: kernel-path distance ledger "
+                    f"diverged from the scalar oracle on {venue_name}"
+                )
+            metrics[f"kernels.{venue_name}.on.seconds"] = (
+                fast_seconds, WALL,
+            )
+    return metrics
+
+
+def zlib_seed(*parts: object) -> int:
+    """Deterministic cross-process seed (``hash()`` is salted)."""
+    import zlib
+
+    return zlib.crc32(repr(parts).encode("utf-8"))
+
+
 #: Registered suites.  Tests may install fakes; the committed baseline
 #: files cover the real ones.
 SUITES: Dict[str, Callable[[], Dict[str, MetricSample]]] = {
     "small": _suite_small,
+    "matrix": _suite_matrix,
 }
 
 

@@ -156,6 +156,56 @@ def format_cache_effectiveness(
     return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------------
+# Markdown rendering (used by repro.bench.report)
+# ---------------------------------------------------------------------------
+def markdown_table(
+    header: Sequence[str], rows: Iterable[Sequence[str]]
+) -> str:
+    """Render a GitHub-flavoured Markdown table, deterministically.
+
+    Cells are written verbatim (callers format values with the ``fmt_*``
+    helpers below so every number in a generated report flows through
+    one formatting path); column count follows the header.
+    """
+    lines = [
+        "| " + " | ".join(str(cell) for cell in header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(str(cell) for cell in row) + " |"
+        )
+    return "\n".join(lines)
+
+
+def fmt_seconds(value: float) -> str:
+    """Wall seconds with enough precision for small-scale runs."""
+    return f"{value:.4g} s"
+
+
+def fmt_mb(value: float) -> str:
+    """Peak traced memory in MB."""
+    return f"{value:.2f} MB"
+
+
+def fmt_count(value: float) -> str:
+    """Exact counter value (thousands separated)."""
+    return f"{int(value):,}"
+
+
+def fmt_ratio(numerator: float, denominator: float) -> str:
+    """``numerator / denominator`` as a speedup factor, or ``—``."""
+    if denominator <= 0:
+        return "—"
+    return f"{numerator / denominator:.2f}×"
+
+
+def fmt_param(parameter: str, value: float) -> str:
+    """Axis label for a swept parameter value (``10k`` style for |C|)."""
+    return _fmt_value(parameter, value)
+
+
 def read_csv(path: Path) -> List[Row]:
     """Load rows previously persisted with :func:`write_csv`."""
     rows: List[Row] = []

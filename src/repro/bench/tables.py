@@ -98,6 +98,35 @@ def format_table2() -> str:
     return "\n".join(lines)
 
 
+def table2_markdown() -> str:
+    """Table 2 as Markdown, from the same harness constants.
+
+    Used by the generated EXPERIMENTS.md report so the parameter table
+    can never disagree with what the sweeps actually run.
+    """
+    from .reporting import markdown_table
+
+    rows = [
+        (
+            venue,
+            ", ".join(str(v) for v in FE_RANGES[venue]),
+            ", ".join(str(v) for v in FN_RANGES[venue]),
+        )
+        for venue in (MC, CH, CPH, MZB)
+    ]
+    table = markdown_table(("venue", "|Fe| range", "|Fn| range"), rows)
+    clients = ", ".join(f"{c // 1000}k" for c in CLIENT_SIZES)
+    sigmas = ", ".join(f"{s:g}" for s in SIGMAS)
+    return "\n".join(
+        [
+            table,
+            "",
+            f"Client sizes |C|: {clients}; normal-distribution sigma: "
+            f"{sigmas} (mu = 0).",
+        ]
+    )
+
+
 def table1_rows() -> List[TaxonomyEntry]:
     """Programmatic access for tests."""
     return list(TABLE1)

@@ -16,6 +16,8 @@ Installed as ``ifls`` (see pyproject) and runnable as
   ``GET /metrics``, ``GET /health``, ``GET /explain/<id>``);
 * ``ifls perfgate`` — compare a bench suite against its committed
   ``BENCH_<suite>.json`` baseline (``--record`` refreshes it);
+* ``ifls report`` — regenerate EXPERIMENTS.md from the recorded bench
+  JSON and perf-gate baselines (``--check`` diffs instead of writing);
 * ``ifls bench`` — regenerate the paper's tables and figures.
 """
 
@@ -290,6 +292,36 @@ def _cmd_perfgate(args: argparse.Namespace) -> int:
         out.write_text(text + "\n")
         print(f"report:     -> {args.out}")
     return 0 if report.passed else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate (or drift-check) the generated EXPERIMENTS.md."""
+    from .bench import report as _report
+
+    provider = _report.DataProvider(
+        results_dir=Path(args.results),
+        baseline_dir=Path(args.baselines),
+    )
+    out = Path(args.out)
+    if args.check:
+        ok, diff = _report.check(provider, out)
+        if ok:
+            print(f"report:     {out} matches the recorded data")
+            return 0
+        sys.stdout.write(diff)
+        print(
+            f"\nreport:     {out} drifted from the recorded data; "
+            "regenerate with `ifls report`",
+            file=sys.stderr,
+        )
+        return 1
+    text = _report.generate(provider, out)
+    sections = len(_report.SECTIONS)
+    print(
+        f"report:     {sections} sections, {len(text.splitlines())} "
+        f"lines -> {out}"
+    )
+    return 0
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
@@ -597,6 +629,23 @@ def build_parser() -> argparse.ArgumentParser:
     perfgate.add_argument("--out", metavar="PATH", default=None,
                           help="also write the comparison report here")
     perfgate.set_defaults(fn=_cmd_perfgate)
+
+    report = sub.add_parser(
+        "report",
+        help="regenerate EXPERIMENTS.md from recorded bench data",
+    )
+    report.add_argument("--results", metavar="DIR",
+                        default="benchmarks/recorded",
+                        help="recorded experiment JSON directory")
+    report.add_argument("--baselines", metavar="DIR", default=".",
+                        help="directory with BENCH_<suite>.json files")
+    report.add_argument("--out", metavar="PATH", default="EXPERIMENTS.md",
+                        help="report path to write or check")
+    report.add_argument("--check", action="store_true",
+                        help="diff the committed report against a fresh "
+                             "composition instead of writing (exit 1 on "
+                             "drift)")
+    report.set_defaults(fn=_cmd_report)
 
     render = sub.add_parser("render", help="ASCII floor plan")
     render.add_argument("venue", choices=[v for v in VENUE_NAMES]

@@ -144,6 +144,11 @@ SPANS: Dict[str, SpanSpec] = _spans(
         "comparison run)",
     ),
     SpanSpec(
+        "report.generate",
+        "once per EXPERIMENTS.md composition (ifls report, regenerate "
+        "or --check; wraps every section generator)",
+    ),
+    SpanSpec(
         "service.request",
         "once per HTTP request the query service answers (any "
         "endpoint, error responses included)",
@@ -238,6 +243,10 @@ METRICS: Dict[str, MetricSpec] = _metrics(
     MetricSpec(
         "perfgate.drifted_metrics", "counter", "metrics",
         "metrics flagged outside tolerance by a perf-gate comparison",
+    ),
+    MetricSpec(
+        "report.sections", "counter", "sections",
+        "every Markdown section rendered into a composed report",
     ),
     MetricSpec(
         "service.requests", "counter", "requests",

@@ -42,6 +42,13 @@ asserts the structural invariants of :class:`QueryStats` /
   answers its whole door block in one reduction instead of per-pair
   memo probes.)
 
+Also lints the generated-report invariant: the ``section_*``
+generators in ``src/repro/bench/report.py`` must contain **no numeric
+literals** (0 and 1 excepted — identity/sign values), so every number
+in a generated EXPERIMENTS.md table provably traces to a recorded
+JSON key, a perf-gate baseline, or a named harness constant — never
+to a hand-typed value.
+
 Exit code 0 when clean, 1 with one line per violation — cheap enough
 to run in tier-1 tests (see ``tests/test_tools.py``), so any future
 change to the counter semantics that breaks baseline-vs-efficient
@@ -79,6 +86,52 @@ from repro.datasets.workloads import (  # noqa: E402
     uniform_clients,
 )
 from repro.index.distance import VIPDistanceEngine  # noqa: E402
+
+#: Numeric literals tolerated inside report section generators:
+#: identity/sign values that carry no measurement content.
+ALLOWED_REPORT_LITERALS = {0, 1}
+
+#: The module whose ``section_*`` functions are linted.
+REPORT_MODULE = (
+    Path(__file__).resolve().parents[1] / "src/repro/bench/report.py"
+)
+
+
+def report_literal_violations(path: Path = REPORT_MODULE) -> List[str]:
+    """No-literal lint over the generated report's section generators.
+
+    Every top-level ``section_*`` function in ``repro.bench.report``
+    renders one EXPERIMENTS.md section; a numeric literal inside one
+    is a hand-typed number waiting to drift from the recorded data.
+    Formatting precision lives in the shared ``fmt_*`` helpers and
+    sweep ranges in the harness constants, so the generators need no
+    numbers of their own beyond 0/1 (sign tests, identity counts).
+    """
+    import ast
+
+    out: List[str] = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in tree.body:
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        if not node.name.startswith("section_"):
+            continue
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Constant)
+                and isinstance(child.value, (int, float))
+                and not isinstance(child.value, bool)
+                and child.value not in ALLOWED_REPORT_LITERALS
+            ):
+                out.append(
+                    f"report/{node.name}: numeric literal "
+                    f"{child.value!r} at line {child.lineno}; section "
+                    "generators must take every number from recorded "
+                    "data or a named constant"
+                )
+    return out
 
 
 def check_query_stats(label: str, stats: QueryStats) -> List[str]:
@@ -135,6 +188,7 @@ def check_query_stats(label: str, stats: QueryStats) -> List[str]:
 def run_checks() -> List[str]:
     """Execute the canned workload; return every violation found."""
     violations: List[str] = []
+    violations += report_literal_violations()
     venue = small_office(levels=2, rooms=24)
     engine = IFLSEngine(venue)
     rng = random.Random(0xC0FFEE)
