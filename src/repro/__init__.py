@@ -46,6 +46,8 @@ from .core import (
     MINMAX,
     TOP_DOWN,
     BatchQuery,
+    ClientEvent,
+    ContinuousQuery,
     DynamicIFLSSession,
     EfficientOptions,
     IndexSnapshot,
@@ -58,8 +60,13 @@ from .core import (
     RankedCandidate,
     SessionQueryRecord,
     SessionReport,
+    StreamAnswer,
+    StreamStats,
+    read_events,
     run_batch_parallel,
+    synthetic_events,
     top_k_ifls,
+    write_events,
     IFLSProblem,
     IFLSResult,
     QueryStats,
@@ -105,7 +112,7 @@ from .obs import (
     observe,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BACKENDS",
@@ -114,6 +121,8 @@ __all__ = [
     "BRUTE_FORCE",
     "BatchQuery",
     "Client",
+    "ClientEvent",
+    "ContinuousQuery",
     "DisconnectedVenueError",
     "DistanceService",
     "DynamicIFLSSession",
@@ -160,6 +169,11 @@ __all__ = [
     "RequestTimeout",
     "SessionQueryRecord",
     "SessionReport",
+    "StreamAnswer",
+    "StreamStats",
+    "read_events",
+    "synthetic_events",
+    "write_events",
     "ReproError",
     "ResultStatus",
     "ServiceError",

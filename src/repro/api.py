@@ -272,6 +272,39 @@ class Engine:
             cold=cold,
         )
 
+    def stream(
+        self,
+        facilities: FacilitySets,
+        *,
+        incremental: bool = True,
+        warm_session: bool = False,
+        **kwargs,
+    ):
+        """Open a :class:`~repro.core.stream.ContinuousQuery`.
+
+        The returned handle maintains the MinMax answer incrementally
+        while :class:`~repro.core.stream.ClientEvent` records are
+        applied; ``incremental=False`` is the from-scratch oracle that
+        every event sequence is verified bit-identical against.
+        ``warm_session=True`` routes the stream's solves through a
+        dedicated warm :class:`QuerySession` (cross-event memo caches
+        isolated from interactive queries on this engine).  Remaining
+        keywords go to the :class:`ContinuousQuery` constructor.
+        """
+        from .core.stream import ContinuousQuery
+
+        self._require_query_backend()
+        session = self.core.session(keep_records=False) if (
+            warm_session
+        ) else None
+        return ContinuousQuery(
+            self.core,
+            facilities,
+            incremental=incremental,
+            session=session,
+            **kwargs,
+        )
+
     # ------------------------------------------------------------------
     # Execution scopes
     # ------------------------------------------------------------------

@@ -376,6 +376,83 @@ def _suite_matrix() -> Dict[str, MetricSample]:
     return metrics
 
 
+#: Fixed ``stream`` suite workload (CPH venue): facility counts, the
+#: arrivals seeding the crowd, and the mixed arrive/depart/move tail.
+STREAM_VENUE = "CPH"
+STREAM_FE = 20
+STREAM_FN = 15
+STREAM_INITIAL = 200
+STREAM_EVENTS = 600
+
+
+def _suite_stream() -> Dict[str, MetricSample]:
+    """The continuous-query ``stream`` suite: one incremental replay.
+
+    A seeded synthetic event stream (arrivals, departures, moves) is
+    replayed through :class:`~repro.core.stream.ContinuousQuery` in
+    incremental mode.  Every tier of the maintenance algorithm is
+    pinned exactly — skip counts, partial solves, full recomputes, the
+    per-group reevaluation ledger, and an order-sensitive checksum of
+    the per-event answers — so any behavioural change to the skip
+    rules or the Lemma 5.1 settled-group reduction trips the gate.
+    The suite also enforces the headline property the docs promise:
+    fewer groups reevaluated than events applied (ratio < 1), i.e. the
+    incremental path does strictly less work than one group per event.
+    """
+    import random
+
+    from ..core.queries import IFLSEngine
+    from ..core.stream import ContinuousQuery, synthetic_events
+    from ..datasets import random_facility_sets, venue_by_name
+
+    venue = venue_by_name(STREAM_VENUE)
+    engine = IFLSEngine(venue)
+    rng = random.Random(zlib_seed("stream", STREAM_VENUE))
+    facilities = random_facility_sets(
+        venue, STREAM_FE, STREAM_FN, rng
+    )
+    events = synthetic_events(
+        venue,
+        initial=STREAM_INITIAL,
+        events=STREAM_EVENTS,
+        seed=zlib_seed("stream-events", STREAM_VENUE),
+    )
+    stream = ContinuousQuery(engine, facilities, incremental=True)
+    started = time.perf_counter()
+    answers = stream.apply_batch(events)
+    seconds = time.perf_counter() - started
+    stats = stream.stats
+    if stats.reevaluation_ratio >= 1.0:
+        raise RuntimeError(
+            f"stream suite: reevaluation ratio "
+            f"{stats.reevaluation_ratio:.3f} >= 1 — the incremental "
+            "path no longer beats one group per event"
+        )
+    metrics: Dict[str, MetricSample] = {}
+    metrics["stream.events"] = (float(stats.events), EXACT)
+    metrics["stream.skips"] = (float(stats.skips), EXACT)
+    metrics["stream.partial_solves"] = (
+        float(stats.partial_solves), EXACT,
+    )
+    metrics["stream.full_recomputes"] = (
+        float(stats.full_recomputes), EXACT,
+    )
+    metrics["stream.groups_reevaluated"] = (
+        float(stats.groups_reevaluated), EXACT,
+    )
+    metrics["stream.groups_skipped"] = (
+        float(stats.groups_skipped), EXACT,
+    )
+    metrics["stream.reevaluation_ratio"] = (
+        round(stats.reevaluation_ratio, 6), EXACT,
+    )
+    metrics["stream.answer_checksum"] = (
+        float(_answer_checksum(answers)), EXACT,
+    )
+    metrics["stream.seconds"] = (seconds, WALL)
+    return metrics
+
+
 def zlib_seed(*parts: object) -> int:
     """Deterministic cross-process seed (``hash()`` is salted)."""
     import zlib
@@ -388,6 +465,7 @@ def zlib_seed(*parts: object) -> int:
 SUITES: Dict[str, Callable[[], Dict[str, MetricSample]]] = {
     "small": _suite_small,
     "matrix": _suite_matrix,
+    "stream": _suite_stream,
 }
 
 

@@ -26,6 +26,7 @@ from .experiments import (
     fig6,
     fig78,
     parallel_scaling,
+    stream_replay,
 )
 from .counters import (
     format_counters,
@@ -55,7 +56,7 @@ _FIGURES = {
 
 ALL_EXPERIMENTS = ("table1", "table2", "fig5", "fig6", "fig7", "fig8",
                    "ablation", "extensions", "counters", "session",
-                   "parallel")
+                   "parallel", "stream")
 
 
 def run_experiment(
@@ -108,6 +109,39 @@ def run_experiment(
         echo(format_parallel_counters(
             measure_parallel_counters(scale=scale, cache=cache)
         ))
+        _persist(rows, name, scale, out_dir, echo)
+        return rows
+    if name == "stream":
+        rows = stream_replay(scale=scale, cache=cache)
+        echo(format_series(
+            rows, metric="time",
+            title=(
+                f"Continuous IFLS: incremental vs oracle replay "
+                f"[scale={scale.name}]"
+            ),
+        ))
+        echo("")
+        echo("Speedup (incremental over per-event recompute, "
+             "identical final answers):")
+        by_count: Dict[float, Dict[str, float]] = {}
+        for row in rows:
+            by_count.setdefault(row.value, {})[row.algorithm] = (
+                row.time_seconds
+            )
+        for value in sorted(by_count):
+            pair = by_count[value]
+            if "incremental" in pair and "oracle" in pair:
+                speedup = (
+                    pair["oracle"] / pair["incremental"]
+                    if pair["incremental"] > 0
+                    else float("inf")
+                )
+                echo(
+                    f"  events={int(value):<5} "
+                    f"oracle {pair['oracle']:8.3f}s   "
+                    f"incremental {pair['incremental']:8.3f}s   "
+                    f"{speedup:5.2f}x"
+                )
         _persist(rows, name, scale, out_dir, echo)
         return rows
     try:

@@ -13,7 +13,12 @@ Installed as ``ifls`` (see pyproject) and runnable as
   Lemma 5.1 bound evolution, and the VIP-tree visit profile;
 * ``ifls serve VENUE`` — keep the venue resident and answer IFLS
   queries over HTTP/JSON (``POST /query``, ``POST /batch``,
-  ``GET /metrics``, ``GET /health``, ``GET /explain/<id>``);
+  ``POST /stream``, ``GET /metrics``, ``GET /health``,
+  ``GET /explain/<id>``);
+* ``ifls stream VENUE`` — replay a client event stream (a JSONL file
+  or a synthesized arrive/depart/move mix) while maintaining the
+  MinMax answer incrementally; ``--oracle`` recomputes from scratch
+  on every event instead;
 * ``ifls perfgate`` — compare a bench suite against its committed
   ``BENCH_<suite>.json`` baseline (``--record`` refreshes it);
 * ``ifls report`` — regenerate EXPERIMENTS.md from the recorded bench
@@ -222,6 +227,77 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     if args.csv is not None:
         rows = write_explain_csv(report, Path(args.csv))
         print(f"csv:        {rows} phase rows -> {args.csv}")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Replay a client event stream with incremental IFLS answers."""
+    import random as _random
+
+    from .core.stream import (
+        ContinuousQuery,
+        read_events,
+        synthetic_events,
+        write_events,
+    )
+    from .datasets.workloads import random_facility_sets
+
+    venue = venue_by_name(args.venue)
+    fe = args.existing if args.existing else default_fe(args.venue.upper())
+    fn = args.candidates if args.candidates else default_fn(
+        args.venue.upper()
+    )
+    facilities = random_facility_sets(
+        venue, fe, fn, _random.Random(args.seed)
+    )
+    if args.events is not None:
+        events = read_events(Path(args.events))
+        source = args.events
+    else:
+        events = synthetic_events(
+            venue,
+            initial=args.initial,
+            events=args.count,
+            seed=args.seed,
+        )
+        source = (
+            f"synthetic initial={args.initial} mixed={args.count} "
+            f"seed={args.seed}"
+        )
+    if args.save_events is not None:
+        written = write_events(Path(args.save_events), events)
+        print(f"saved:      {written} events -> {args.save_events}")
+    engine = _query_engine(args, venue)
+    stream = ContinuousQuery(
+        engine, facilities, incremental=not args.oracle
+    )
+    started = time.perf_counter()
+    stream.apply_batch(events)
+    elapsed = time.perf_counter() - started
+    stats = stream.stats
+    final = stream.answer()
+    rate = len(events) / elapsed if elapsed > 0 else float("inf")
+    print(f"venue:      {venue.name} ({venue.partition_count} partitions)")
+    print(f"facilities: |Fe|={fe} |Fn|={fn} seed={args.seed}")
+    print(f"events:     {len(events)} from {source}")
+    print(f"mode:       {'oracle (full recompute per event)' if args.oracle else 'incremental'} "
+          f"(kernels {'on' if engine.use_kernels else 'off'})")
+    print(f"time:       {elapsed:.3f}s total, {rate:.0f} events/s")
+    print(f"answers:    skipped={stats.skips} "
+          f"partial={stats.partial_solves} "
+          f"full={stats.full_recomputes}")
+    print(f"groups:     reevaluated={stats.groups_reevaluated} "
+          f"skipped={stats.groups_skipped} "
+          f"ratio={stats.reevaluation_ratio:.3f}/event")
+    if final.status == "empty":
+        print("final:      crowd is empty")
+    elif final.answer is None:
+        print(f"final:      no improvement (objective "
+              f"{final.objective:.4f})")
+    else:
+        print(f"final:      partition {final.answer} "
+              f"(objective {final.objective:.4f}, "
+              f"|C|={stream.client_count})")
     return 0
 
 
@@ -605,6 +681,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-kernels", action="store_true",
                        help="force the scalar distance path")
     serve.set_defaults(fn=_cmd_serve)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a client event stream with incremental answers",
+    )
+    stream.add_argument("venue", choices=[v for v in VENUE_NAMES]
+                        + [v.lower() for v in VENUE_NAMES])
+    stream.add_argument("--events", metavar="PATH", default=None,
+                        help="JSONL ClientEvent file to replay "
+                             "(default: synthesize a workload)")
+    stream.add_argument("--initial", type=int, default=100,
+                        help="synthetic arrivals before the mixed "
+                             "phase (ignored with --events)")
+    stream.add_argument("--count", type=int, default=300,
+                        help="synthetic mixed arrive/depart/move "
+                             "events (ignored with --events)")
+    stream.add_argument("--seed", type=int, default=0,
+                        help="seed for facilities and the synthetic "
+                             "event mix")
+    stream.add_argument("--existing", type=int, default=0,
+                        help="|Fe| (default: venue's Table-2 default)")
+    stream.add_argument("--candidates", type=int, default=0,
+                        help="|Fn| (default: venue's Table-2 default)")
+    stream.add_argument("--oracle", action="store_true",
+                        help="recompute from scratch on every event "
+                             "(the verification oracle) instead of "
+                             "incrementally")
+    stream.add_argument("--save-events", metavar="PATH", default=None,
+                        help="also write the replayed events as JSONL")
+    stream.add_argument("--no-kernels", action="store_true",
+                        help="force the scalar distance path")
+    stream.set_defaults(fn=_cmd_stream)
 
     perfgate = sub.add_parser(
         "perfgate",

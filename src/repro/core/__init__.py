@@ -40,6 +40,15 @@ from .session import (
     SessionQueryRecord,
     SessionReport,
 )
+from .stream import (
+    ClientEvent,
+    ContinuousQuery,
+    StreamAnswer,
+    StreamStats,
+    read_events,
+    synthetic_events,
+    write_events,
+)
 from .topk import RankedCandidate, TopKStats, top_k_ifls
 from .stats import (
     QueryStats,
@@ -53,6 +62,13 @@ __all__ = [
     "BatchQuery",
     "BOTTOM_UP",
     "BRUTE_FORCE",
+    "ClientEvent",
+    "ContinuousQuery",
+    "StreamAnswer",
+    "StreamStats",
+    "read_events",
+    "synthetic_events",
+    "write_events",
     "DynamicIFLSSession",
     "QuerySession",
     "SessionQueryRecord",

@@ -374,8 +374,11 @@ class QuerySession:
     ) -> List[IFLSResult]:
         """Answer a whole batch; results always follow submission order.
 
-        ``batch`` may mix legacy :class:`BatchQuery` items with the
-        unified :class:`~repro.core.request.QueryRequest` (converted on
+        ``batch`` items are
+        :class:`~repro.core.request.QueryRequest` objects — the
+        primary spelling every surface shares (see ``docs/API.md``).
+        The pre-1.6 :class:`BatchQuery` spelling is deprecated but
+        still accepted, and the two may be mixed (both convert on
         entry; the executor hot path is unchanged).
 
         ``workers=1`` (default) answers serially on this session's own

@@ -149,6 +149,12 @@ SPANS: Dict[str, SpanSpec] = _spans(
         "or --check; wraps every section generator)",
     ),
     SpanSpec(
+        "stream.event",
+        "once per ClientEvent applied to a ContinuousQuery "
+        "(incremental or oracle mode; wraps any solver span the "
+        "event triggers)",
+    ),
+    SpanSpec(
         "service.request",
         "once per HTTP request the query service answers (any "
         "endpoint, error responses included)",
@@ -247,6 +253,25 @@ METRICS: Dict[str, MetricSpec] = _metrics(
     MetricSpec(
         "report.sections", "counter", "sections",
         "every Markdown section rendered into a composed report",
+    ),
+    MetricSpec(
+        "stream.events", "counter", "events",
+        "every ClientEvent applied to a ContinuousQuery",
+    ),
+    MetricSpec(
+        "stream.groups.reevaluated", "counter", "groups",
+        "partition groups handed to the solver while answering an "
+        "event (partial and full recomputes)",
+    ),
+    MetricSpec(
+        "stream.groups.skipped", "counter", "groups",
+        "partition groups excluded from an event's answer (settled "
+        "by Lemma 5.1, or all of them on a skipped event)",
+    ),
+    MetricSpec(
+        "stream.full_recomputes", "counter", "events",
+        "events answered by a from-scratch recompute (oracle mode, "
+        "first answers, and failed incremental reductions)",
     ),
     MetricSpec(
         "service.requests", "counter", "requests",

@@ -20,7 +20,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.request import QueryRequest
+from ..core.stream import ClientEvent
 from ..errors import ProtocolError, http_status_for
+from ..indoor.entities import FacilitySets
 
 __all__ = [
     "HttpRequest",
@@ -28,6 +30,8 @@ __all__ = [
     "json_response",
     "parse_query_payload",
     "parse_batch_payload",
+    "parse_stream_open_payload",
+    "parse_events_payload",
     "render_response",
     "STATUS_REASONS",
 ]
@@ -116,6 +120,52 @@ def parse_batch_payload(payload: Any) -> List[QueryRequest]:
     if not payload:
         raise ProtocolError("batch payload is empty")
     return [QueryRequest.from_payload(item) for item in payload]
+
+
+def parse_stream_open_payload(
+    payload: Any,
+) -> Tuple[FacilitySets, bool, str]:
+    """Decode one ``POST /stream`` body.
+
+    Returns ``(facilities, incremental, label)``; the facility sets use
+    the query wire spelling (sorted id arrays under ``existing`` /
+    ``candidates``).
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"stream payload must be an object, got "
+            f"{type(payload).__name__}"
+        )
+    try:
+        facilities = FacilitySets(
+            frozenset(int(p) for p in payload.get("existing", ())),
+            frozenset(int(p) for p in payload.get("candidates", ())),
+        )
+        return (
+            facilities,
+            bool(payload.get("incremental", True)),
+            str(payload.get("label", "")),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"malformed stream payload: {exc}"
+        ) from exc
+
+
+def parse_events_payload(payload: Any) -> List[ClientEvent]:
+    """Decode one ``POST /stream/<id>/events`` body.
+
+    Accepts either a bare JSON array or ``{"events": [...]}``; an empty
+    array is valid (an empty batch applies no events).
+    """
+    if isinstance(payload, dict) and "events" in payload:
+        payload = payload["events"]
+    if not isinstance(payload, list):
+        raise ProtocolError(
+            "events payload must be a JSON array (or an object with "
+            f"an 'events' array), got {type(payload).__name__}"
+        )
+    return [ClientEvent.from_payload(item) for item in payload]
 
 
 def json_response(

@@ -28,6 +28,19 @@ Endpoints
     A stored :class:`~repro.obs.explain.ExplainReport` for a query
     submitted with ``"explain": true``; the response's ``explain_id``
     names it.
+``POST /stream``
+    Open a resident :class:`~repro.core.stream.ContinuousQuery` over a
+    facility configuration; answers ``{"stream_id": ...}``.  The
+    stream keeps its own warm session off the pool's shared snapshot,
+    so distance memos survive across event batches.
+``POST /stream/<id>/events``
+    Apply an ordered :class:`~repro.core.stream.ClientEvent` array to
+    a stream; answers the per-event incremental
+    :class:`~repro.core.stream.StreamAnswer` payloads plus cumulative
+    stream statistics.  Batches on one stream are serialised; events
+    applied before a mid-batch error stay applied.
+``GET /stream/<id>`` / ``DELETE /stream/<id>``
+    The stream's current answer + statistics, and stream teardown.
 
 Errors map to statuses in exactly one place
 (:func:`repro.service.protocol.error_body` over
@@ -47,6 +60,7 @@ from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.request import QueryRequest, QueryResponse
+from ..core.stream import STREAM_FORMAT, ContinuousQuery
 from ..errors import (
     ProtocolError,
     QueryError,
@@ -64,8 +78,10 @@ from .protocol import (
     error_body,
     json_response,
     parse_batch_payload,
+    parse_events_payload,
     parse_head,
     parse_query_payload,
+    parse_stream_open_payload,
     request_id_path,
 )
 
@@ -89,6 +105,16 @@ class ServiceConfig:
     workers: int = 1
     request_timeout: Optional[float] = 30.0
     explain_capacity: int = 128
+    stream_capacity: int = 32
+
+
+@dataclass
+class _StreamState:
+    """One resident continuous query plus its serialisation lock."""
+
+    query: ContinuousQuery
+    lock: asyncio.Lock
+    label: str
 
 
 class IFLSService:
@@ -141,6 +167,10 @@ class IFLSService:
             OrderedDict()
         )
         self._explain_seq = 0
+        self._streams: "OrderedDict[str, _StreamState]" = (
+            OrderedDict()
+        )
+        self._stream_seq = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._previous_metrics: Optional[MetricsRegistry] = None
         self._owns_metrics = False
@@ -207,6 +237,7 @@ class IFLSService:
             while self._inflight:
                 await asyncio.sleep(0.005)
         self.pool.close()
+        self._streams.clear()
         self._flush_executor.shutdown(wait=drain)
         if self._owns_metrics:
             _metrics.install(self._previous_metrics)
@@ -324,6 +355,26 @@ class IFLSService:
             if request.method != "GET":
                 return self._method_not_allowed(request)
             return 200, self.health_payload()
+        if path == "/stream":
+            if request.method != "POST":
+                return self._method_not_allowed(request)
+            return await self._open_stream(request.json())
+        if path.startswith("/stream/"):
+            rest = path[len("/stream/"):]
+            if rest.endswith("/events"):
+                stream_id = rest[: -len("/events")]
+                if stream_id and "/" not in stream_id:
+                    if request.method != "POST":
+                        return self._method_not_allowed(request)
+                    return await self._apply_stream_events(
+                        stream_id, request.json()
+                    )
+            elif rest and "/" not in rest:
+                if request.method == "GET":
+                    return self._stream_payload(rest)
+                if request.method == "DELETE":
+                    return self._close_stream(rest)
+                return self._method_not_allowed(request)
         explain_id = request_id_path(path, "/explain/")
         if explain_id is not None:
             if request.method != "GET":
@@ -490,6 +541,111 @@ class IFLSService:
             explain_id=explain_id,
         )
 
+    # ------------------------------------------------------------------
+    # Continuous streams
+    # ------------------------------------------------------------------
+    async def _open_stream(self, payload: Any) -> Tuple[int, Any]:
+        """``POST /stream``: open one resident continuous query.
+
+        Each stream gets its own warm session off the pool's shared
+        snapshot (venue + tree shared read-only, private distance
+        memos), so cross-event cache hits survive between batches
+        without contending with the pooled interactive sessions.
+        """
+        facilities, incremental, label = parse_stream_open_payload(
+            payload
+        )
+        if len(self._streams) >= self.config.stream_capacity:
+            raise QueryError(
+                f"stream capacity {self.config.stream_capacity} "
+                "exhausted; DELETE an open stream first"
+            )
+        session = self.pool.snapshot.session(
+            max_cache_entries=self.config.max_cache_entries,
+            keep_records=False,
+        )
+        query = ContinuousQuery(
+            facilities=facilities,
+            incremental=incremental,
+            session=session,
+        )
+        self._stream_seq += 1
+        stream_id = f"s{self._stream_seq}"
+        self._streams[stream_id] = _StreamState(
+            query=query, lock=asyncio.Lock(), label=label
+        )
+        return 200, {
+            "stream_id": stream_id,
+            "format": STREAM_FORMAT,
+            "incremental": incremental,
+            "label": label,
+        }
+
+    async def _apply_stream_events(
+        self, stream_id: str, payload: Any
+    ) -> Tuple[int, Any]:
+        """``POST /stream/<id>/events``: apply one ordered batch.
+
+        Batches on the same stream serialise on its lock; the blocking
+        solver work runs on the flush executor so the event loop stays
+        responsive.  A mid-batch error (e.g. removing an unknown
+        client) leaves the already-applied prefix applied — events are
+        validated before mutation, so the stream state stays coherent.
+        """
+        state = self._streams.get(stream_id)
+        if state is None:
+            return self._stream_not_found(stream_id)
+        events = parse_events_payload(payload)
+        loop = asyncio.get_running_loop()
+        async with state.lock:
+            answers = await loop.run_in_executor(
+                self._flush_executor,
+                state.query.apply_batch,
+                events,
+            )
+        return 200, {
+            "stream_id": stream_id,
+            "format": STREAM_FORMAT,
+            "answers": [a.to_payload() for a in answers],
+            "stats": asdict(state.query.stats),
+            "client_count": state.query.client_count,
+        }
+
+    def _stream_payload(self, stream_id: str) -> Tuple[int, Any]:
+        """``GET /stream/<id>``: the current answer + statistics."""
+        state = self._streams.get(stream_id)
+        if state is None:
+            return self._stream_not_found(stream_id)
+        query = state.query
+        return 200, {
+            "stream_id": stream_id,
+            "format": STREAM_FORMAT,
+            "incremental": query.incremental,
+            "label": state.label,
+            "client_count": query.client_count,
+            "answer": query.answer().to_payload(),
+            "stats": asdict(query.stats),
+        }
+
+    def _close_stream(self, stream_id: str) -> Tuple[int, Any]:
+        """``DELETE /stream/<id>``: drop the stream and its session."""
+        state = self._streams.pop(stream_id, None)
+        if state is None:
+            return self._stream_not_found(stream_id)
+        return 200, {
+            "stream_id": stream_id,
+            "closed": True,
+            "events": state.query.stats.events,
+        }
+
+    @staticmethod
+    def _stream_not_found(stream_id: str) -> Tuple[int, Any]:
+        return 404, {
+            "error": "NotFound",
+            "detail": f"no open stream {stream_id!r}",
+            "status": 404,
+        }
+
     def _store_explain(self, report: Dict[str, Any]) -> str:
         """Keep a report retrievable, bounded by ``explain_capacity``."""
         self._explain_seq += 1
@@ -530,6 +686,14 @@ class IFLSService:
                 "batches_flushed": self.coalescer.batches_flushed,
                 "queries_answered": self.coalescer.queries_answered,
                 "pending": self.coalescer.pending,
+            },
+            "streams": {
+                "open": len(self._streams),
+                "capacity": self.config.stream_capacity,
+                "events": sum(
+                    s.query.stats.events
+                    for s in self._streams.values()
+                ),
             },
         }
 

@@ -180,3 +180,20 @@ class TestCounters:
         text = format_counters(rows)
         assert "CPH" in text and "efficient" in text
         assert "cache_hits" in text
+
+
+class TestStreamReplay:
+    def test_modes_agree_and_rows_shape(self, cache):
+        from repro.bench.experiments import stream_replay
+
+        rows = stream_replay(
+            scale=TINY, cache=cache, event_counts=(30,)
+        )
+        assert len(rows) == 2
+        modes = {row.algorithm for row in rows}
+        assert modes == {"incremental", "oracle"}
+        for row in rows:
+            assert row.experiment == "stream"
+            assert row.parameter == "events"
+            assert row.value == 30
+            assert row.time_seconds > 0

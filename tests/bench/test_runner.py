@@ -56,7 +56,7 @@ class TestRunExperiment:
         assert set(ALL_EXPERIMENTS) == {
             "table1", "table2", "fig5", "fig6", "fig7", "fig8",
             "ablation", "extensions", "counters", "session",
-            "parallel",
+            "parallel", "stream",
         }
 
     def test_session_via_runner(self):

@@ -174,3 +174,74 @@ class TestMetrics:
         session.add_clients(make_clients(venue, 3, seed=11))
         with pytest.raises(QueryError):
             session.evaluate(sorted(fs.existing)[0])
+
+
+class TestEdgeCases:
+    def test_empty_batch_is_noop(self, setup):
+        venue, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        session.add_clients([])
+        assert session.client_count == 0
+        with pytest.raises(QueryError):
+            session.answer()
+
+    def test_duplicate_remove_raises(self, setup):
+        venue, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        session.add_clients(make_clients(venue, 4, seed=20))
+        session.remove_client(1)
+        with pytest.raises(QueryError):
+            session.remove_client(1)
+        assert session.client_count == 3
+
+    def test_move_to_same_partition_keeps_answer_exact(self, setup):
+        venue, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        clients = make_clients(venue, 10, seed=21)
+        session.add_clients(clients)
+        victim = clients[0]
+        rect = venue.partition(victim.partition_id).rect
+        nudged = Client(
+            victim.client_id,
+            type(victim.location)(
+                (rect.min_x + rect.max_x) / 2,
+                (rect.min_y + rect.max_y) / 2,
+                rect.level,
+            ),
+            victim.partition_id,
+        )
+        session.move_client(victim.client_id, nudged)
+        assert session.client_count == 10
+        got = session.answer()
+        want = brute_force_minmax(
+            engine.problem(session.clients, fs)
+        )
+        assert got.answer == want.answer
+        assert got.objective == pytest.approx(want.objective)
+
+    def test_interleaved_add_remove_same_id(self, setup):
+        venue, engine, fs = setup
+        session = DynamicIFLSSession(engine, fs)
+        clients = make_clients(venue, 6, seed=22)
+        first = clients[0]
+        elsewhere = Client(
+            first.client_id, clients[3].location,
+            clients[3].partition_id,
+        )
+        session.add_clients(clients[1:4])
+        session.add_client(first)
+        session.nearest_existing_distance(first.client_id)  # warm it
+        session.remove_client(first.client_id)
+        session.add_client(elsewhere)
+        # The de cache must describe the new record, not the removed one.
+        de_second = session.nearest_existing_distance(first.client_id)
+        nearest = min(
+            engine.distances.idist(elsewhere, e) for e in fs.existing
+        )
+        assert de_second == pytest.approx(nearest)
+        assert session.client_count == 4
+        got = session.answer()
+        want = brute_force_minmax(
+            engine.problem(session.clients, fs)
+        )
+        assert got.objective == pytest.approx(want.objective)

@@ -129,3 +129,48 @@ class TestAnswersWhileMoving:
         sim.step(2.5)
         sim.step(1.5)
         assert sim.clock == pytest.approx(4.0)
+
+
+class TestEdgeCases:
+    def test_step_with_no_walkers(self, setup):
+        venue, engine, rooms, fs = setup
+        sim = MovingClientSimulator(engine, fs)
+        assert sim.step(1.0) == 0
+        assert sim.clock == pytest.approx(1.0)
+
+    def test_step_rejects_nonpositive_seconds(self, setup):
+        venue, engine, rooms, fs = setup
+        sim = MovingClientSimulator(engine, fs)
+        with pytest.raises(QueryError):
+            sim.step(0.0)
+
+    def test_walk_to_current_partition_is_noop(self, setup):
+        venue, engine, rooms, fs = setup
+        sim = MovingClientSimulator(engine, fs)
+        client = make_clients(venue, 1, seed=30)[0]
+        sim.add_walker(client, client.partition_id)
+        assert sim.en_route() == 0
+        sim.step(5.0)
+        final = sim.position_of(client.client_id)
+        assert final.partition_id == client.partition_id
+
+    def test_duplicate_remove_raises(self, setup):
+        venue, engine, rooms, fs = setup
+        sim = MovingClientSimulator(engine, fs)
+        clients, destination = walker_pair(venue, rooms, seed=31)
+        sim.add_walker(clients[0], destination)
+        sim.remove(clients[0].client_id)
+        with pytest.raises(QueryError):
+            sim.remove(clients[0].client_id)
+        assert sim.client_count == 0
+
+    def test_interleaved_add_remove_same_id(self, setup):
+        venue, engine, rooms, fs = setup
+        sim = MovingClientSimulator(engine, fs)
+        clients, destination = walker_pair(venue, rooms, seed=32)
+        sim.add_walker(clients[0], destination)
+        sim.remove(clients[0].client_id)
+        sim.add_stationary(clients[0])
+        assert sim.client_count == 1
+        assert sim.walker_count == 0
+        assert sim.position_of(clients[0].client_id) == clients[0]

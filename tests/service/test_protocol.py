@@ -131,3 +131,54 @@ class TestRequestIdPath:
         assert request_id_path("/explain/", "/explain/") is None
         assert request_id_path("/explain/a/b", "/explain/") is None
         assert request_id_path("/metrics", "/explain/") is None
+
+
+class TestStreamParsers:
+    def test_open_payload_defaults(self):
+        from repro.service.protocol import parse_stream_open_payload
+
+        fs, incremental, label = parse_stream_open_payload(
+            {"existing": [3, 1], "candidates": [5]}
+        )
+        assert fs.existing == frozenset({1, 3})
+        assert fs.candidates == frozenset({5})
+        assert incremental is True
+        assert label == ""
+
+    def test_open_payload_flags(self):
+        from repro.service.protocol import parse_stream_open_payload
+
+        _, incremental, label = parse_stream_open_payload(
+            {"candidates": [2], "incremental": False, "label": "lob"}
+        )
+        assert incremental is False
+        assert label == "lob"
+
+    def test_open_payload_rejects_garbage(self):
+        from repro.service.protocol import parse_stream_open_payload
+
+        with pytest.raises(ProtocolError):
+            parse_stream_open_payload([1, 2])
+        with pytest.raises(ProtocolError):
+            parse_stream_open_payload({"existing": ["x"]})
+
+    def test_events_payload_both_spellings(self):
+        from repro.service.protocol import parse_events_payload
+
+        record = {"kind": "remove", "id": 7}
+        assert parse_events_payload([record])[0].client_id == 7
+        assert parse_events_payload({"events": [record]})[0].kind == (
+            "remove"
+        )
+        assert parse_events_payload([]) == []
+        assert parse_events_payload({"events": []}) == []
+
+    def test_events_payload_rejects_non_array(self):
+        from repro.service.protocol import parse_events_payload
+
+        with pytest.raises(ProtocolError):
+            parse_events_payload({"not_events": []})
+        with pytest.raises(ProtocolError):
+            parse_events_payload("remove 7")
+        with pytest.raises(ProtocolError):
+            parse_events_payload([{"kind": "add", "id": 1}])

@@ -370,3 +370,44 @@ class TestPerfgateCommand:
         assert "FAIL" in out
         assert "tiny.counter" in out
         assert "tiny.counter" in out_path.read_text()
+
+
+class TestStreamCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["stream", "CPH"])
+        assert args.initial == 100
+        assert args.count == 300
+        assert args.oracle is False
+        assert args.events is None
+
+    def test_synthetic_replay(self, capsys):
+        assert main([
+            "stream", "MC", "--initial", "12", "--count", "20",
+            "--existing", "3", "--candidates", "4", "--seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "events:     32" in out
+        assert "ratio=" in out
+        assert "final:" in out
+
+    def test_save_replay_oracle_agree(self, tmp_path, capsys):
+        path = tmp_path / "ev.jsonl"
+        common = [
+            "MC", "--initial", "10", "--count", "15",
+            "--existing", "3", "--candidates", "4", "--seed", "6",
+        ]
+        assert main(["stream", *common, "--save-events",
+                     str(path)]) == 0
+        fast = capsys.readouterr().out
+        assert path.exists()
+        assert main(["stream", "MC", "--events", str(path),
+                     "--existing", "3", "--candidates", "4",
+                     "--seed", "6", "--oracle"]) == 0
+        slow = capsys.readouterr().out
+        final_fast = [l for l in fast.splitlines()
+                      if l.startswith("final:")]
+        final_slow = [l for l in slow.splitlines()
+                      if l.startswith("final:")]
+        assert final_fast == final_slow
+        assert "oracle" in slow
+        assert "skipped=0 partial=0" in slow

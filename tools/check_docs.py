@@ -41,15 +41,22 @@ DEFAULT_FILES = (
     "DESIGN.md",
     "EXPERIMENTS.md",
     "CHANGELOG.md",
+    "docs/README.md",
     "docs/USAGE.md",
     "docs/ALGORITHMS.md",
     "docs/ARCHITECTURE.md",
+    "docs/STREAMING.md",
     "docs/OBSERVABILITY.md",
     "docs/API.md",
 )
 
 # Docs whose python blocks form a runnable, top-to-bottom script.
-EXEC_FILES = ("README.md", "docs/USAGE.md", "docs/OBSERVABILITY.md")
+EXEC_FILES = (
+    "README.md",
+    "docs/USAGE.md",
+    "docs/STREAMING.md",
+    "docs/OBSERVABILITY.md",
+)
 
 NO_EXEC_MARKER = "<!-- check-docs: no-exec -->"
 
