@@ -39,6 +39,7 @@ IFLS queries still require ``"viptree"`` and say so loudly.
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Union
 
 from .core.queries import IFLSEngine
@@ -48,6 +49,7 @@ from .errors import QueryError, VenueError
 from .indoor.entities import Client, FacilitySets
 from .indoor.venue import IndoorVenue
 from .index.snapshot import IndexSnapshot
+from .obs import trace as _trace
 
 #: Distance-index backends selectable at :func:`open_venue` time.
 #: ``queries=True`` marks the backends able to answer IFLS queries.
@@ -181,6 +183,10 @@ class Engine:
         The legacy ``query(clients, facilities, objective=..., ...)``
         signature still works through a :class:`DeprecationWarning`
         shim that converts the arguments into a request first.
+
+        A request arriving without a ``request_id`` gets one minted
+        here (``q…``), so library callers are correlated in telemetry
+        just like service traffic; the id is echoed on the response.
         """
         if not isinstance(request, QueryRequest):
             warn_legacy_call(
@@ -196,6 +202,10 @@ class Engine:
                 "arguments"
             )
         self._require_query_backend()
+        if not request.request_id:
+            request = replace(
+                request, request_id=_trace.next_request_id("q")
+            )
         import time as _time
 
         before = self.core.distances.stats.snapshot()

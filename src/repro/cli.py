@@ -15,6 +15,8 @@ Installed as ``ifls`` (see pyproject) and runnable as
   queries over HTTP/JSON (``POST /query``, ``POST /batch``,
   ``POST /stream``, ``GET /metrics``, ``GET /health``,
   ``GET /explain/<id>``);
+* ``ifls flight`` — fetch a running service's flight-recorder dump
+  (``GET /debug/flight``) and print the recent span records;
 * ``ifls stream VENUE`` — replay a client event stream (a JSONL file
   or a synthesized arrive/depart/move mix) while maintaining the
   MinMax answer incrementally; ``--oracle`` recomputes from scratch
@@ -310,6 +312,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     engine = open_venue(
         args.venue, backend=args.backend, use_kernels=use_kernels
     )
+    slow = args.slow_query_seconds
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -320,8 +323,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         workers=args.workers,
         request_timeout=args.request_timeout,
+        flight_capacity=args.flight_capacity,
+        slow_query_seconds=slow if slow > 0 else None,
     )
     run_service(engine, config=config)
+    return 0
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    """Fetch and render a running service's flight-recorder dump."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/debug/flight"
+    if args.last is not None:
+        url += f"?last={args.last}"
+    try:
+        with urllib.request.urlopen(
+            url, timeout=args.timeout
+        ) as response:
+            dump = _json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"flight: cannot fetch {url}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(dump, indent=2, sort_keys=True))
+        return 0
+    print(f"flight recorder @ {args.url}")
+    print(f"  capacity={dump['capacity']} appended={dump['appended']} "
+          f"dropped={dump['dropped']} "
+          f"slow_threshold={dump['slow_threshold_seconds']}")
+    print(f"  {len(dump['records'])} resident records "
+          f"(oldest first):")
+    for record in dump["records"]:
+        attrs = record.get("attrs", {})
+        extras = []
+        if "request_id" in attrs:
+            extras.append(f"rid={attrs['request_id']}")
+        if "request_ids" in attrs:
+            extras.append(
+                "rids=" + ",".join(attrs["request_ids"])
+            )
+        if "error" in attrs:
+            extras.append(f"error={attrs['error']}")
+        suffix = f" ({' '.join(extras)})" if extras else ""
+        print(f"    {record['name']:<24} "
+              f"{record['duration'] * 1000.0:9.3f} ms{suffix}")
+    slow = dump.get("slow", [])
+    if slow:
+        print(f"  {len(slow)} slow records:")
+        for record in slow:
+            print(f"    {record['name']:<24} "
+                  f"{record['duration'] * 1000.0:9.3f} ms")
     return 0
 
 
@@ -678,9 +732,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--request-timeout", type=float, default=30.0,
                        help="per-request seconds before HTTP 504 "
                             "(overridable per query)")
+    serve.add_argument("--slow-query-seconds", type=float, default=1.0,
+                       help="flight-recorder slow-query threshold "
+                            "(<= 0 disables the slow log)")
+    serve.add_argument("--flight-capacity", type=int, default=256,
+                       help="flight-recorder ring size (completed "
+                            "span records kept)")
     serve.add_argument("--no-kernels", action="store_true",
                        help="force the scalar distance path")
     serve.set_defaults(fn=_cmd_serve)
+
+    flight = sub.add_parser(
+        "flight",
+        help="dump a running service's flight recorder",
+    )
+    flight.add_argument("--url", default="http://127.0.0.1:8337",
+                        help="base URL of the running service")
+    flight.add_argument("--last", type=int, default=None,
+                        help="only the most recent N records")
+    flight.add_argument("--timeout", type=float, default=10.0,
+                        help="HTTP timeout in seconds")
+    flight.add_argument("--json", action="store_true",
+                        help="print the raw JSON dump")
+    flight.set_defaults(fn=_cmd_flight)
 
     stream = sub.add_parser(
         "stream",

@@ -175,8 +175,11 @@ def _init_fork_worker(
     global _WORKER_SESSION
     # The fork inherited the parent's process-global collectors; spans
     # recorded into those copies would be lost.  Workers collect into
-    # per-shard collectors instead (see _run_shard).
+    # per-shard collectors instead (see _run_shard).  The same goes for
+    # an inherited flight-recorder sink: records appended to the forked
+    # copy of the parent's ring would never be seen again.
     _trace.uninstall()
+    _trace.set_flight_sink(None)
     _metrics.uninstall()
     if _FORK_ENGINE is None:  # pragma: no cover - defensive
         raise ParallelExecutionError(
@@ -247,8 +250,16 @@ def _run_shard(
                 max(0.0, time.time() - submitted_at),
             )
         _metrics.add("parallel.shards")
+        shard_attrs = {"queries": len(shard)}
+        request_ids = _trace.dedup_request_ids(
+            query.request_id for _, query in shard
+        )
+        if request_ids:
+            # A list, so the attribute survives a JSON round-trip
+            # (tuples decode as lists).
+            shard_attrs["request_ids"] = list(request_ids)
         shard_started = time.perf_counter()
-        with _trace.span("parallel.shard", queries=len(shard)):
+        with _trace.span("parallel.shard", **shard_attrs):
             for index, query in shard:
                 results.append(
                     session.query(
@@ -257,6 +268,7 @@ def _run_shard(
                         objective=query.objective,
                         options=query.options,
                         label=query.label or f"q{index + 1}",
+                        request_id=query.request_id,
                     )
                 )
                 indices.append(index)

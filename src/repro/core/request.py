@@ -62,6 +62,11 @@ class QueryRequest:
     exceeded); library executors ignore it.  ``explain`` asks the
     service to keep the query's EXPLAIN report retrievable under
     ``GET /explain/<id>``.
+
+    ``request_id`` is the correlation id telemetry stitches traces
+    with: minted by the service per HTTP request (``r…``) or by
+    :meth:`repro.api.Engine.query` for library callers (``q…``) when
+    left empty, and echoed on the matching :class:`QueryResponse`.
     """
 
     clients: Tuple[Client, ...]
@@ -76,6 +81,7 @@ class QueryRequest:
     measure_memory: bool = False
     timeout_seconds: Optional[float] = None
     explain: bool = False
+    request_id: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "clients", tuple(self.clients))
@@ -171,6 +177,7 @@ class QueryRequest:
             objective=self.objective,
             options=self.options(),
             label=self.label,
+            request_id=self.request_id,
         )
 
     # ------------------------------------------------------------------
@@ -209,6 +216,8 @@ class QueryRequest:
             payload["timeout_seconds"] = self.timeout_seconds
         if self.explain:
             payload["explain"] = True
+        if self.request_id:
+            payload["request_id"] = self.request_id
         return payload
 
     @classmethod
@@ -257,6 +266,7 @@ class QueryRequest:
                     float(timeout) if timeout is not None else None
                 ),
                 explain=bool(payload.get("explain", False)),
+                request_id=str(payload.get("request_id", "")),
             )
         except QueryError as exc:
             # Validation failures are still protocol errors on the wire.
@@ -286,6 +296,7 @@ class QueryResponse:
     index: Optional[int] = None
     explain_id: Optional[str] = None
     distance_delta: Dict[str, int] = field(default_factory=dict)
+    request_id: str = ""
 
     @property
     def improved(self) -> bool:
@@ -313,6 +324,7 @@ class QueryResponse:
             index=index,
             explain_id=explain_id,
             distance_delta=dict(distance_delta or {}),
+            request_id=request.request_id if request else "",
         )
 
     def to_payload(self) -> Dict[str, Any]:
@@ -333,6 +345,8 @@ class QueryResponse:
             payload["explain_id"] = self.explain_id
         if self.distance_delta:
             payload["distance_delta"] = dict(self.distance_delta)
+        if self.request_id:
+            payload["request_id"] = self.request_id
         return payload
 
     @classmethod
@@ -362,6 +376,7 @@ class QueryResponse:
                         "distance_delta", {}
                     ).items()
                 },
+                request_id=str(payload.get("request_id", "")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError(

@@ -62,13 +62,19 @@ _SOLVERS = {
 
 @dataclass(frozen=True)
 class BatchQuery:
-    """One query of a batch: inputs plus an optional display label."""
+    """One query of a batch: inputs plus an optional display label.
+
+    ``request_id`` is the telemetry correlation id (empty when the
+    caller did not mint one); it rides the batch into the executors so
+    shard spans and per-query records stay attributable.
+    """
 
     clients: Tuple[Client, ...]
     facilities: FacilitySets
     objective: str = MINMAX
     options: Optional[EfficientOptions] = None
     label: str = ""
+    request_id: str = ""
 
     def __post_init__(self) -> None:
         if self.objective not in _SOLVERS:
@@ -90,6 +96,7 @@ class SessionQueryRecord:
     elapsed_seconds: float
     distance_delta: Dict[str, int]
     cache_entries_after: int
+    request_id: str = ""
 
     @property
     def distance_computations(self) -> int:
@@ -275,18 +282,26 @@ class QuerySession:
         objective: str = MINMAX,
         options: Optional[EfficientOptions] = None,
         label: str = "",
+        request_id: str = "",
     ) -> IFLSResult:
-        """Answer one query on the session's warm distance engine."""
+        """Answer one query on the session's warm distance engine.
+
+        ``request_id`` (when non-empty) tags the ``session.query``
+        span and the query's :class:`SessionQueryRecord`, correlating
+        them with whatever minted the id (the service or
+        ``Engine.query``).
+        """
         solver = _SOLVERS.get(objective)
         if solver is None:
             raise QueryError(f"unknown objective {objective!r}")
         problem = IFLSProblem(self.distances, list(clients), facilities)
+        span_attrs = {"objective": objective, "label": label}
+        if request_id:
+            span_attrs["request_id"] = request_id
         before = self.distances.stats.snapshot()
         started = time.perf_counter()
         with self._observing():
-            with _trace.span(
-                "session.query", objective=objective, label=label
-            ):
+            with _trace.span("session.query", **span_attrs):
                 if self.explain:
                     result = self._explained_solve(
                         solver, problem, options, before,
@@ -316,6 +331,7 @@ class QuerySession:
                     elapsed_seconds=elapsed,
                     distance_delta=delta,
                     cache_entries_after=self.distances.cache_entries(),
+                    request_id=request_id,
                 )
             )
         return result
@@ -407,6 +423,7 @@ class QuerySession:
                     objective=query.objective,
                     options=query.options,
                     label=query.label or f"q{self.queries_answered + 1}",
+                    request_id=query.request_id,
                 )
                 for query in batch
             ]

@@ -410,19 +410,25 @@ class ContinuousQuery:
     # ------------------------------------------------------------------
     # Event application
     # ------------------------------------------------------------------
-    def apply(self, event: ClientEvent) -> StreamAnswer:
+    def apply(
+        self, event: ClientEvent, request_id: str = ""
+    ) -> StreamAnswer:
         """Apply one event and return the updated answer.
 
         Unknown ids on remove/move raise :class:`QueryError` *before*
         any state changes, so a rejected event leaves the stream (and
-        its counters) untouched.
+        its counters) untouched.  ``request_id`` (when non-empty) tags
+        the ``stream.event`` span, correlating the event with the HTTP
+        request that delivered it.
         """
         self._validate(event)
-        with _trace.span(
-            "stream.event",
-            kind=event.kind,
-            incremental=self.incremental,
-        ):
+        span_attrs = {
+            "kind": event.kind,
+            "incremental": self.incremental,
+        }
+        if request_id:
+            span_attrs["request_id"] = request_id
+        with _trace.span("stream.event", **span_attrs):
             _metrics.add("stream.events")
             self.stats.events += 1
             answer = self._apply(event)
@@ -430,13 +436,17 @@ class ContinuousQuery:
         return answer
 
     def apply_batch(
-        self, events: Sequence[ClientEvent]
+        self, events: Sequence[ClientEvent], request_id: str = ""
     ) -> List[StreamAnswer]:
         """Apply events in order; one answer per event.
 
-        An empty batch is a no-op returning ``[]``.
+        An empty batch is a no-op returning ``[]``.  ``request_id``
+        tags every event's span (see :meth:`apply`).
         """
-        return [self.apply(event) for event in events]
+        return [
+            self.apply(event, request_id=request_id)
+            for event in events
+        ]
 
     def _validate(self, event: ClientEvent) -> None:
         if event.kind in (REMOVE, MOVE):

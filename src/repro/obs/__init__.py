@@ -7,7 +7,12 @@ Three cooperating pieces, all stdlib-only:
 * :mod:`repro.obs.metrics` — a registry of counters, gauges, and
   bounded-reservoir histograms with cross-worker merge semantics;
 * :mod:`repro.obs.exporters` — JSON-lines traces, human-readable span
-  trees, and metrics CSV snapshots.
+  trees, and metrics CSV snapshots;
+* :mod:`repro.obs.flight` — an always-on fixed-size ring buffer of the
+  most recent finished spans, with a slow-query log;
+* :mod:`repro.obs.logging` — structured one-JSON-object-per-line logs;
+* :mod:`repro.obs.prometheus` — Prometheus text exposition rendered
+  from a metrics snapshot, plus a strict format lint.
 
 The names the library emits are a documented contract
 (:mod:`repro.obs.contract`, ``docs/OBSERVABILITY.md``).  When neither
@@ -29,25 +34,44 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional, Tuple
 
-from . import contract, exporters, explain, metrics, profile, trace
+from . import (
+    contract,
+    exporters,
+    explain,
+    flight,
+    logging,
+    metrics,
+    profile,
+    prometheus,
+    trace,
+)
 from .explain import ExplainPhase, ExplainReport
+from .flight import FlightRecorder
+from .logging import StructuredLog
 from .metrics import MetricsRegistry
 from .profile import ProfileCollector
+from .prometheus import render_prometheus
 from .trace import SpanRecord, Tracer
 
 __all__ = [
     "contract",
     "explain",
     "exporters",
+    "flight",
+    "logging",
     "metrics",
     "profile",
+    "prometheus",
     "trace",
     "ExplainPhase",
     "ExplainReport",
+    "FlightRecorder",
     "MetricsRegistry",
     "ProfileCollector",
     "SpanRecord",
+    "StructuredLog",
     "Tracer",
+    "render_prometheus",
     "observe",
 ]
 

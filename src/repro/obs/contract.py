@@ -125,7 +125,8 @@ SPANS: Dict[str, SpanSpec] = _spans(
     SpanSpec(
         "parallel.shard",
         "in each worker, once per executed shard (its records are "
-        "absorbed into the parent trace tagged with the worker pid)",
+        "absorbed into the parent trace tagged with the worker pid "
+        "and the shard's request ids)",
     ),
     SpanSpec(
         "parallel.merge",
@@ -157,12 +158,20 @@ SPANS: Dict[str, SpanSpec] = _spans(
     SpanSpec(
         "service.request",
         "once per HTTP request the query service answers (any "
-        "endpoint, error responses included)",
+        "endpoint, error responses included; tagged with the minted "
+        "request_id)",
     ),
     SpanSpec(
         "service.batch.flush",
         "once per coalesced batch flushed onto a pooled session "
-        "(wraps the executor call answering the batch)",
+        "(wraps the executor call answering the batch; tagged with "
+        "the batch members' request ids)",
+    ),
+    SpanSpec(
+        "service.pool.checkout",
+        "once per session borrowed from the service pool (wraps the "
+        "checkout wait; tagged with the borrowing flush's request "
+        "ids)",
     ),
 )
 
@@ -310,5 +319,24 @@ METRICS: Dict[str, MetricSpec] = _metrics(
         "service.pool.evictions", "counter", "sessions",
         "idle sessions whose memos were dropped under the pool's "
         "cache-byte budget",
+    ),
+    MetricSpec(
+        "flight.records", "counter", "spans",
+        "every completed span captured by the installed flight "
+        "recorder",
+    ),
+    MetricSpec(
+        "flight.dropped", "counter", "spans",
+        "ring-buffer slots overwritten before export "
+        "(flight-recorder wraparound)",
+    ),
+    MetricSpec(
+        "service.slow_queries", "counter", "requests",
+        "flight-recorded spans slower than the recorder's slow-query "
+        "threshold",
+    ),
+    MetricSpec(
+        "log.lines", "counter", "lines",
+        "every structured JSON log line emitted",
     ),
 )

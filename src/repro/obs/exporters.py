@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 from pathlib import Path
 from typing import Dict, Iterable, List, Sequence, Union
 
@@ -80,6 +81,21 @@ def read_trace_jsonl(path: Path) -> List[SpanRecord]:
 # ---------------------------------------------------------------------------
 # Human-readable tree
 # ---------------------------------------------------------------------------
+def _escape_cell(text: str) -> str:
+    """Make a name or attribute value safe for one-line formats.
+
+    Control characters that would break the tree's one-line-per-span
+    invariant are escaped (``\\n``, ``\\r``, ``\\t``, and the escape
+    character itself).
+    """
+    return (
+        text.replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+        .replace("\t", "\\t")
+    )
+
+
 def format_trace_tree(
     source: Union[Tracer, Iterable[SpanRecord]],
     counters: int = 3,
@@ -98,13 +114,15 @@ def format_trace_tree(
     lines: List[str] = []
     for record in records:
         parts = [
-            f"{'  ' * record.depth}{record.name}",
+            f"{'  ' * record.depth}{_escape_cell(record.name)}",
             f"{record.duration * 1000:.2f}ms",
         ]
         if record.pid != own_pid:
             parts.append(f"pid={record.pid}")
         for key, value in sorted(record.attrs.items()):
-            parts.append(f"{key}={value}")
+            parts.append(
+                f"{_escape_cell(str(key))}={_escape_cell(str(value))}"
+            )
         top = sorted(
             record.counters.items(),
             key=lambda item: (-abs(item[1]), item[0]),
@@ -122,6 +140,21 @@ METRICS_CSV_COLUMNS = (
     "metric", "type", "value", "count", "sum", "min", "max",
     "p50", "p95",
 )
+
+
+def _fmt_stat(value: float) -> str:
+    """Render one histogram statistic cell deterministically.
+
+    Non-finite bounds get fixed spellings (``NaN`` / ``Inf`` /
+    ``-Inf``) rather than platform/format-dependent ones; Python's
+    ``float()`` parses all three back, so round-trips are exact.
+    """
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Inf" if value > 0 else "-Inf"
+    return f"{value:.9g}"
 
 
 def write_metrics_csv(
@@ -157,11 +190,11 @@ def write_metrics_csv(
             (
                 name, "histogram", "",
                 payload["count"],
-                f"{payload['sum']:.9g}",
-                "" if empty else f"{payload['min']:.9g}",
-                "" if empty else f"{payload['max']:.9g}",
-                "" if empty else f"{reservoir.percentile(0.5):.9g}",
-                "" if empty else f"{reservoir.percentile(0.95):.9g}",
+                _fmt_stat(payload["sum"]),
+                "" if empty else _fmt_stat(payload["min"]),
+                "" if empty else _fmt_stat(payload["max"]),
+                "" if empty else _fmt_stat(reservoir.percentile(0.5)),
+                "" if empty else _fmt_stat(reservoir.percentile(0.95)),
             )
         )
     path = Path(path)
@@ -182,7 +215,9 @@ def read_metrics_csv(path: Path) -> Dict[str, Dict[str, object]]:
     ``"max"``/``"p50"``/``"p95"``); absent fields are omitted.
     """
     out: Dict[str, Dict[str, object]] = {}
-    with open(path) as handle:
+    # newline="" hands line splitting to the csv module, so quoted
+    # fields containing \r or \n survive the round trip untranslated.
+    with open(path, newline="") as handle:
         for record in csv.DictReader(handle):
             row: Dict[str, object] = {"type": record["type"]}
             for column in (

@@ -1,0 +1,306 @@
+"""Always-on flight recorder: a fixed-size ring of finished spans.
+
+The tracer (:mod:`repro.obs.trace`) is opt-in and unbounded — perfect
+for a profiling session, useless for the question "what were the last
+things this server did before the 504?".  The :class:`FlightRecorder`
+answers that question: a **preallocated ring buffer** of the most
+recent :class:`~repro.obs.trace.SpanRecord` objects, cheap enough to
+leave on in production (O(1) append under one lock, no per-record
+allocation beyond the record itself, which instrumentation already
+builds).
+
+Two capture paths feed the ring:
+
+* while a :class:`~repro.obs.trace.Tracer` is installed, every span it
+  finishes is *forwarded* here as well (same record object);
+* while tracing is **off**, the module-level ``trace.span()`` function
+  routes through :meth:`FlightRecorder.span`, which records flat
+  (parentless, depth-0) spans — so the recorder sees traffic even when
+  nobody asked for a trace.
+
+A configurable **slow-query log** rides along: records matching
+``slow_names`` whose duration meets ``slow_threshold_seconds`` are
+copied into a small bounded deque and counted on the
+``service.slow_queries`` metric.  Ring accounting is exported on the
+``flight.records`` / ``flight.dropped`` counters; both are bumped
+inside the recorder's lock so concurrent tests can assert exact
+equality against :meth:`dropped` / :meth:`appended`.
+
+Enablement mirrors the tracer: :func:`install` / :func:`uninstall` /
+:func:`active` / :func:`use` manage a process-global recorder and keep
+the trace module's forwarding sink in sync.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, Iterator, List, Optional, Sequence
+
+from . import metrics as _metrics
+from . import trace as _trace
+from .trace import SpanRecord
+
+__all__ = [
+    "FlightRecorder",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_SLOW_NAMES",
+    "install",
+    "uninstall",
+    "active",
+    "use",
+]
+
+DEFAULT_CAPACITY = 256
+
+# Spans eligible for the slow-query log by default: the service's
+# per-request envelope and the library's per-query span.
+DEFAULT_SLOW_NAMES = ("service.request", "session.query")
+
+
+class _FlightSpan:
+    """A flat span recorded straight into the ring (tracing is off)."""
+
+    __slots__ = ("_recorder", "name", "_stats", "attrs", "_start",
+                 "_before")
+
+    def __init__(
+        self,
+        recorder: "FlightRecorder",
+        name: str,
+        stats: Optional[Any],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._recorder = recorder
+        self.name = name
+        self._stats = stats
+        self.attrs = attrs
+        self._start = 0.0
+        self._before: Optional[Dict[str, float]] = None
+
+    def set(self, **attrs) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_FlightSpan":
+        if self._stats is not None:
+            self._before = dict(self._stats.snapshot())
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        finished = time.perf_counter()
+        counters: Dict[str, float] = {}
+        if self._before is not None:
+            after = self._stats.snapshot()
+            before = self._before
+            for key, value in after.items():
+                delta = value - before.get(key, 0)
+                if delta:
+                    counters[key] = delta
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        recorder = self._recorder
+        recorder.record(
+            SpanRecord(
+                index=recorder._next_index(),
+                name=self.name,
+                parent=None,
+                depth=0,
+                start=self._start - recorder.epoch,
+                duration=finished - self._start,
+                pid=os.getpid(),
+                attrs=self.attrs,
+                counters=counters,
+            )
+        )
+        return False
+
+
+class FlightRecorder:
+    """Fixed-capacity ring of the most recent finished spans.
+
+    ``capacity`` bounds the ring; once full, each append overwrites the
+    oldest slot and counts one drop.  ``slow_threshold_seconds`` (when
+    not ``None``) enables the slow-query log for spans named in
+    ``slow_names``; the ``slow_capacity`` most recent slow records are
+    kept.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        slow_threshold_seconds: Optional[float] = None,
+        slow_capacity: int = 32,
+        slow_names: Sequence[str] = DEFAULT_SLOW_NAMES,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        if slow_capacity < 1:
+            raise ValueError(
+                f"slow_capacity must be >= 1: {slow_capacity}"
+            )
+        self.capacity = capacity
+        self.slow_threshold_seconds = slow_threshold_seconds
+        self.slow_names = frozenset(slow_names)
+        self.epoch = time.perf_counter()
+        self._ring: List[Optional[SpanRecord]] = [None] * capacity
+        self._head = 0  # next slot to write
+        self._appended = 0
+        self._dropped = 0
+        self._slow: Deque[SpanRecord] = deque(maxlen=slow_capacity)
+        self._slow_total = 0
+        self._lock = threading.Lock()
+        self._index = 0
+
+    def _next_index(self) -> int:
+        with self._lock:
+            index = self._index
+            self._index += 1
+            return index
+
+    # -- capture --------------------------------------------------------
+    def record(self, record: SpanRecord) -> None:
+        """Append one finished span to the ring (thread-safe, O(1)).
+
+        The ``flight.records`` / ``flight.dropped`` /
+        ``service.slow_queries`` counter bumps happen inside the ring
+        lock, so metric values and ring accounting never diverge.
+        """
+        threshold = self.slow_threshold_seconds
+        slow = (
+            threshold is not None
+            and record.duration >= threshold
+            and record.name in self.slow_names
+        )
+        with self._lock:
+            dropped = self._ring[self._head] is not None
+            self._ring[self._head] = record
+            self._head = (self._head + 1) % self.capacity
+            self._appended += 1
+            _metrics.add("flight.records")
+            if dropped:
+                self._dropped += 1
+                _metrics.add("flight.dropped")
+            if slow:
+                self._slow.append(record)
+                self._slow_total += 1
+                _metrics.add("service.slow_queries")
+
+    def span(self, name: str, stats: Optional[Any] = None, **attrs):
+        """Open a flat span recorded into the ring on exit.
+
+        This is the capture path ``trace.span()`` uses while no tracer
+        is installed; records carry no parent links (``parent=None``,
+        ``depth=0``) because there is no stack to nest under.
+        """
+        return _FlightSpan(self, name, stats, attrs)
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def appended(self) -> int:
+        """Total records ever appended (monotonic)."""
+        with self._lock:
+            return self._appended
+
+    @property
+    def dropped(self) -> int:
+        """Ring slots overwritten before export (wraparound count)."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def resident(self) -> int:
+        """Records currently held in the ring."""
+        with self._lock:
+            return min(self._appended, self.capacity)
+
+    @property
+    def slow_total(self) -> int:
+        """Total slow-query records ever captured (monotonic)."""
+        with self._lock:
+            return self._slow_total
+
+    # -- export ---------------------------------------------------------
+    def records(self, last: Optional[int] = None) -> List[SpanRecord]:
+        """Resident records, oldest first (optionally only the last N)."""
+        with self._lock:
+            if self._appended < self.capacity:
+                resident = self._ring[: self._appended]
+            else:
+                resident = (
+                    self._ring[self._head:] + self._ring[: self._head]
+                )
+            out = list(resident)
+        if last is not None and last >= 0:
+            out = out[len(out) - min(last, len(out)):]
+        return out
+
+    def slow_records(self) -> List[SpanRecord]:
+        """The retained slow-query records, oldest first."""
+        with self._lock:
+            return list(self._slow)
+
+    def dump(self, last: Optional[int] = None) -> Dict[str, Any]:
+        """JSON-friendly image: resident records plus accounting.
+
+        This is the payload ``GET /debug/flight`` serves and
+        ``ifls flight`` renders.
+        """
+        records = self.records(last=last)
+        with self._lock:
+            appended = self._appended
+            dropped = self._dropped
+            slow = list(self._slow)
+        return {
+            "capacity": self.capacity,
+            "appended": appended,
+            "dropped": dropped,
+            "slow_threshold_seconds": self.slow_threshold_seconds,
+            "records": [record.to_dict() for record in records],
+            "slow": [record.to_dict() for record in slow],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Process-global enablement
+# ---------------------------------------------------------------------------
+_ACTIVE: Optional[FlightRecorder] = None
+
+
+def install(
+    recorder: Optional[FlightRecorder],
+) -> Optional[FlightRecorder]:
+    """Make ``recorder`` the process-global flight recorder; returns
+    the previous one (``None`` disables recording).  Keeps the trace
+    module's forwarding sink in sync."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    _trace.set_flight_sink(recorder)
+    return previous
+
+
+def uninstall() -> Optional[FlightRecorder]:
+    """Disable flight recording; returns the recorder that was active."""
+    return install(None)
+
+
+def active() -> Optional[FlightRecorder]:
+    """The process-global recorder, or ``None`` when recording is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def use(
+    recorder: Optional[FlightRecorder],
+) -> Iterator[Optional[FlightRecorder]]:
+    """Scope-install a recorder, restoring the previous one on exit."""
+    previous = install(recorder)
+    try:
+        yield recorder
+    finally:
+        install(previous)

@@ -1,0 +1,50 @@
+"""Structured JSON logging: one machine-parseable line per event.
+
+The service used to narrate through ad-hoc ``print`` calls; this
+module replaces them with :class:`StructuredLog`, which emits exactly
+one JSON object per line — stable keys, sorted, newline-free — so a
+log shipper (or a test) can parse every line with ``json.loads``.
+
+The canonical consumer is the query service, which logs one
+``service.request`` event per answered request (request id, backend,
+algorithm, status, tiers, wall time) and one ``flight.dump`` event per
+triggered flight-recorder dump.  Every emitted line counts on the
+``log.lines`` metric.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from typing import Any, Optional, TextIO
+
+from . import metrics as _metrics
+
+__all__ = ["StructuredLog"]
+
+
+class StructuredLog:
+    """Thread-safe writer of one-JSON-object-per-line events.
+
+    ``stream`` defaults to ``sys.stderr``; the service points it at
+    stdout so the startup line doubles as the readiness signal.  Values
+    that are not JSON-serialisable are stringified rather than raised
+    on — a log line must never take down the request it describes.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+        self.lines = 0
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Write one event line: ``{"event": ..., **fields}``."""
+        payload = {"event": event}
+        payload.update(fields)
+        line = json.dumps(payload, sort_keys=True, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+            self.lines += 1
+        _metrics.add("log.lines")

@@ -1,0 +1,277 @@
+"""Prometheus text exposition for the metrics registry.
+
+:func:`render_prometheus` turns a
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` into the Prometheus
+text exposition format (version 0.0.4) a standard scraper ingests, and
+:func:`lint_exposition` is the strict parser CI runs against the live
+service's scrape.
+
+Name mangling is exact and documented:
+
+* every character outside ``[a-zA-Z0-9_]`` becomes ``_`` (the
+  contract's dotted names — ``service.request.seconds`` — turn into
+  ``service_request_seconds``);
+* every name gains the ``ifls_`` namespace prefix;
+* counters gain the conventional ``_total`` suffix.
+
+So ``query.count`` exports as ``ifls_query_count_total``.  Histograms
+export as **summaries**: ``{quantile="0.5"}`` / ``{quantile="0.95"}``
+sample lines estimated from the bounded reservoir (``NaN`` while
+empty, matching Prometheus client conventions), plus ``_sum`` and
+``_count``.  ``HELP`` text comes from the metric contract
+(:data:`repro.obs.contract.METRICS`); families are emitted in sorted
+mangled-name order, each as one contiguous ``HELP`` / ``TYPE`` /
+samples block.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Union
+
+from . import contract as _contract
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "mangle_name",
+    "render_prometheus",
+    "lint_exposition",
+]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_VALID_TYPES = frozenset(
+    ("counter", "gauge", "histogram", "summary", "untyped")
+)
+
+
+def mangle_name(name: str, kind: str = "") -> str:
+    """The exported family name for a contract metric name.
+
+    ``kind`` is the instrument kind ("counter" adds the ``_total``
+    suffix); see the module docstring for the full rules.
+    """
+    mangled = "ifls_" + _INVALID_CHARS.sub("_", name)
+    if kind == "counter" and not mangled.endswith("_total"):
+        mangled += "_total"
+    return mangled
+
+
+def _format_value(value: Union[int, float]) -> str:
+    """Render one sample value (NaN/Inf spelled Prometheus-style)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _help_text(name: str) -> str:
+    spec = _contract.METRICS.get(name)
+    if spec is None:
+        return f"{name} (not in the metrics contract)"
+    return f"{name} ({spec.unit}): {spec.fires}"
+
+
+def render_prometheus(
+    source: Union[MetricsRegistry, Dict],
+) -> str:
+    """Render a registry (or its snapshot) as exposition text."""
+    snapshot = (
+        source.snapshot()
+        if isinstance(source, MetricsRegistry)
+        else source
+    )
+    families: List[tuple] = []  # (mangled, type, help, sample lines)
+    for name, payload in snapshot.get("counters", {}).items():
+        family = mangle_name(name, "counter")
+        families.append(
+            (
+                family, "counter", _help_text(name),
+                [f"{family} {_format_value(payload['value'])}"],
+            )
+        )
+    for name, payload in snapshot.get("gauges", {}).items():
+        family = mangle_name(name, "gauge")
+        families.append(
+            (
+                family, "gauge", _help_text(name),
+                [f"{family} {_format_value(payload['value'])}"],
+            )
+        )
+    for name, payload in snapshot.get("histograms", {}).items():
+        family = mangle_name(name, "histogram")
+        reservoir = Histogram()
+        for sample in payload["reservoir"]:
+            reservoir.record(sample)
+        quantiles = []
+        for q, label in ((0.5, "0.5"), (0.95, "0.95")):
+            value = (
+                reservoir.percentile(q)
+                if reservoir.count
+                else float("nan")
+            )
+            quantiles.append(
+                f'{family}{{quantile="{label}"}} '
+                f"{_format_value(value)}"
+            )
+        quantiles.append(
+            f"{family}_sum {_format_value(payload['sum'])}"
+        )
+        quantiles.append(
+            f"{family}_count {_format_value(payload['count'])}"
+        )
+        families.append((family, "summary", _help_text(name), quantiles))
+    lines: List[str] = []
+    for family, kind, help_text, samples in sorted(families):
+        lines.append(f"# HELP {family} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {family} {kind}")
+        lines.extend(samples)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _family_of(name: str, types: Dict[str, str]) -> str:
+    """The family a sample name belongs to, given declared TYPEs.
+
+    Summary/histogram child samples (``_sum`` / ``_count`` /
+    ``_bucket``) fold into their base family when the base declared a
+    compatible TYPE.
+    """
+    for suffix in ("_sum", "_count", "_bucket"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) in ("summary", "histogram"):
+                return base
+    return name
+
+
+def lint_exposition(text: str) -> List[str]:
+    """Strictly lint exposition text; returns one string per problem.
+
+    Enforced rules (a superset of what real scrapers tolerate, so CI
+    catches sloppiness before a scraper has to):
+
+    * every ``HELP`` / ``TYPE`` line is well-formed, at most one of
+      each per family, and both precede the family's samples;
+    * every sample line parses, has a valid metric name and a valid
+      float value, and follows a ``TYPE`` (and ``HELP``) declaration
+      for its family;
+    * each family's samples form one contiguous block — no
+      interleaving between families, no duplicate family blocks.
+    """
+    problems: List[str] = []
+    helped: Dict[str, int] = {}
+    types: Dict[str, str] = {}
+    sampled: Dict[str, bool] = {}  # family -> block still open
+    current: Optional[str] = None
+
+    def close_current() -> None:
+        nonlocal current
+        if current is not None:
+            sampled[current] = False
+            current = None
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            close_current()
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3:
+                    problems.append(
+                        f"line {number}: malformed {parts[1]} line"
+                    )
+                    continue
+                family = parts[2]
+                if not _METRIC_NAME.match(family):
+                    problems.append(
+                        f"line {number}: invalid metric name "
+                        f"{family!r}"
+                    )
+                    continue
+                if family in sampled:
+                    problems.append(
+                        f"line {number}: {parts[1]} for {family} "
+                        f"after its samples"
+                    )
+                close_current()
+                if parts[1] == "HELP":
+                    if family in helped:
+                        problems.append(
+                            f"line {number}: duplicate HELP for "
+                            f"{family} (first at line "
+                            f"{helped[family]})"
+                        )
+                    helped[family] = number
+                else:
+                    if family in types:
+                        problems.append(
+                            f"line {number}: duplicate TYPE for "
+                            f"{family}"
+                        )
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in _VALID_TYPES:
+                        problems.append(
+                            f"line {number}: invalid TYPE {kind!r} "
+                            f"for {family}"
+                        )
+                    types[family] = kind
+            continue  # other comments are legal and ignored
+        match = _SAMPLE.match(line.strip())
+        if not match:
+            problems.append(
+                f"line {number}: unparseable sample line: "
+                f"{line.strip()!r}"
+            )
+            close_current()
+            continue
+        name = match.group("name")
+        value = match.group("value")
+        if value not in ("NaN", "+Inf", "-Inf", "Inf"):
+            try:
+                float(value)
+            except ValueError:
+                problems.append(
+                    f"line {number}: invalid sample value "
+                    f"{value!r} for {name}"
+                )
+        family = _family_of(name, types)
+        if family not in types:
+            problems.append(
+                f"line {number}: sample for {family} with no "
+                f"preceding TYPE"
+            )
+        elif family not in helped:
+            problems.append(
+                f"line {number}: sample for {family} with no "
+                f"preceding HELP"
+            )
+        if family in sampled and not sampled[family] and (
+            family != current
+        ):
+            problems.append(
+                f"line {number}: samples for {family} interleave "
+                f"with another family's block"
+            )
+        if current is not None and family != current:
+            close_current()
+        sampled[family] = True
+        current = family
+    return problems

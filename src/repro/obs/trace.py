@@ -43,6 +43,7 @@ different ``pid`` values must not be compared directly.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -57,6 +58,10 @@ __all__ = [
     "uninstall",
     "active",
     "use",
+    "next_request_id",
+    "dedup_request_ids",
+    "set_flight_sink",
+    "flight_sink",
 ]
 
 
@@ -190,19 +195,21 @@ class _Span:
             self.attrs["error"] = exc_type.__name__
         if tracer._stack and tracer._stack[-1] is self:
             tracer._stack.pop()
-        tracer.records.append(
-            SpanRecord(
-                index=self.index,
-                name=self.name,
-                parent=self.parent,
-                depth=self.depth,
-                start=self._start - tracer.epoch,
-                duration=finished - self._start,
-                pid=os.getpid(),
-                attrs=self.attrs,
-                counters=counters,
-            )
+        record = SpanRecord(
+            index=self.index,
+            name=self.name,
+            parent=self.parent,
+            depth=self.depth,
+            start=self._start - tracer.epoch,
+            duration=finished - self._start,
+            pid=os.getpid(),
+            attrs=self.attrs,
+            counters=counters,
         )
+        tracer.records.append(record)
+        sink = _FLIGHT
+        if sink is not None:
+            sink.record(record)
         return False
 
 
@@ -288,6 +295,59 @@ class Tracer:
 # ---------------------------------------------------------------------------
 _ACTIVE: Optional[Tracer] = None
 
+# The always-on flight recorder, when one is installed.  Finished spans
+# are forwarded to it *in addition to* the active tracer's record list;
+# when no tracer is installed the module-level :func:`span` still
+# captures flat spans into the sink so the recorder sees traffic even
+# with tracing off.  Typed as ``Any`` to avoid a circular import with
+# :mod:`repro.obs.flight`; the only requirements are ``record(record)``
+# and ``span(name, stats=..., **attrs)``.
+_FLIGHT: Optional[Any] = None
+
+_REQUEST_ID_LOCK = threading.Lock()
+_REQUEST_ID_COUNT = 0
+
+
+def next_request_id(prefix: str = "q") -> str:
+    """Mint a process-unique, monotonic request id (e.g. ``"r17"``).
+
+    One shared sequence backs every prefix, so ids are unique across
+    the service (``"r"``) and library (``"q"``) minting points even
+    when both run in one process.
+    """
+    global _REQUEST_ID_COUNT
+    with _REQUEST_ID_LOCK:
+        _REQUEST_ID_COUNT += 1
+        return f"{prefix}{_REQUEST_ID_COUNT}"
+
+
+def dedup_request_ids(ids: Iterable[str]) -> tuple:
+    """Distinct non-empty request ids, first-seen order preserved.
+
+    The span-attribute spelling shared by every layer that groups
+    several correlated queries (shards, pool checkouts, coalesced
+    flushes).
+    """
+    seen: List[str] = []
+    for request_id in ids:
+        if request_id and request_id not in seen:
+            seen.append(request_id)
+    return tuple(seen)
+
+
+def set_flight_sink(sink: Optional[Any]) -> Optional[Any]:
+    """Install ``sink`` as the process-global flight recorder; returns
+    the previous sink (``None`` disables forwarding)."""
+    global _FLIGHT
+    previous = _FLIGHT
+    _FLIGHT = sink
+    return previous
+
+
+def flight_sink() -> Optional[Any]:
+    """The installed flight sink, or ``None``."""
+    return _FLIGHT
+
 
 def install(tracer: Optional[Tracer]) -> Optional[Tracer]:
     """Make ``tracer`` the process-global tracer; returns the previous
@@ -316,7 +376,10 @@ def span(name: str, stats: Optional[Any] = None, **attrs):
     """
     tracer = _ACTIVE
     if tracer is None:
-        return NULL_SPAN
+        sink = _FLIGHT
+        if sink is None:
+            return NULL_SPAN
+        return sink.span(name, stats=stats, **attrs)
     return tracer.span(name, stats=stats, **attrs)
 
 

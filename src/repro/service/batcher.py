@@ -158,10 +158,14 @@ class Coalescer:
         requests = [request for request, _future in batch]
         started = time.perf_counter()
         self._inflight_flushes += 1
+        span_attrs = {"queries": len(requests)}
+        request_ids = _trace.dedup_request_ids(
+            request.request_id for request in requests
+        )
+        if request_ids:
+            span_attrs["request_ids"] = list(request_ids)
         try:
-            with _trace.span(
-                "service.batch.flush", queries=len(requests)
-            ):
+            with _trace.span("service.batch.flush", **span_attrs):
                 responses = await loop.run_in_executor(
                     self.executor, self.runner, requests
                 )

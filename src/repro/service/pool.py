@@ -37,13 +37,14 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..core.session import QuerySession
 from ..core.stats import distance_invariant_violations
 from ..errors import ServiceError
 from ..index.snapshot import IndexSnapshot
 from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 
 __all__ = ["PoolStats", "SessionPool"]
 
@@ -116,39 +117,49 @@ class SessionPool:
     # Checkout / checkin
     # ------------------------------------------------------------------
     def checkout(
-        self, timeout: Optional[float] = None
+        self,
+        timeout: Optional[float] = None,
+        request_ids: Sequence[str] = (),
     ) -> QuerySession:
         """Borrow a warm session (creating one while under ``size``).
 
         Each borrowed session is exclusively owned until
         :meth:`checkin`; two concurrent borrowers can never observe the
         same session — or the same mutable ``DistanceStats`` — at once.
+        ``request_ids`` are the correlation ids of the queries this
+        checkout will answer; they tag the ``service.pool.checkout``
+        span (which wraps any wait for a free session).
         """
         deadline = timeout if timeout is not None else (
             self.checkout_timeout
         )
-        with self._available:
-            while True:
-                if self._closed:
-                    raise ServiceError(
-                        "session pool is closed"
-                    )
-                if self._idle:
-                    session = self._idle.pop()
-                    break
-                if self._created < self.size:
-                    session = self._new_session()
-                    break
-                if not self._available.wait(timeout=deadline):
-                    raise ServiceError(
-                        f"no session became available within "
-                        f"{deadline}s (pool size {self.size})"
-                    )
-            self._out.append(session)
-            _metrics.set_gauge(
-                "service.pool.sessions", self._created
-            )
-            return session
+        span_attrs = {}
+        ids = _trace.dedup_request_ids(request_ids)
+        if ids:
+            span_attrs["request_ids"] = list(ids)
+        with _trace.span("service.pool.checkout", **span_attrs):
+            with self._available:
+                while True:
+                    if self._closed:
+                        raise ServiceError(
+                            "session pool is closed"
+                        )
+                    if self._idle:
+                        session = self._idle.pop()
+                        break
+                    if self._created < self.size:
+                        session = self._new_session()
+                        break
+                    if not self._available.wait(timeout=deadline):
+                        raise ServiceError(
+                            f"no session became available within "
+                            f"{deadline}s (pool size {self.size})"
+                        )
+                self._out.append(session)
+                _metrics.set_gauge(
+                    "service.pool.sessions", self._created
+                )
+                return session
 
     def checkin(self, session: QuerySession) -> None:
         """Return a borrowed session, folding its new work into the
@@ -167,13 +178,20 @@ class SessionPool:
                 self._evict_under_pressure_locked()
             self._available.notify()
 
-    def session(self, timeout: Optional[float] = None):
+    def session(
+        self,
+        timeout: Optional[float] = None,
+        request_ids: Sequence[str] = (),
+    ):
         """Context-manager checkout::
 
             with pool.session() as session:
                 session.query(...)
+
+        ``request_ids`` are forwarded to :meth:`checkout` for span
+        correlation.
         """
-        return _Checkout(self, timeout)
+        return _Checkout(self, timeout, request_ids)
 
     # ------------------------------------------------------------------
     # Ledger
@@ -288,14 +306,20 @@ class _Checkout:
     """Context manager pairing checkout with guaranteed checkin."""
 
     def __init__(
-        self, pool: SessionPool, timeout: Optional[float]
+        self,
+        pool: SessionPool,
+        timeout: Optional[float],
+        request_ids: Sequence[str] = (),
     ) -> None:
         self._pool = pool
         self._timeout = timeout
+        self._request_ids = request_ids
         self._session: Optional[QuerySession] = None
 
     def __enter__(self) -> QuerySession:
-        self._session = self._pool.checkout(timeout=self._timeout)
+        self._session = self._pool.checkout(
+            timeout=self._timeout, request_ids=self._request_ids
+        )
         return self._session
 
     def __exit__(self, *_exc) -> bool:

@@ -26,8 +26,11 @@ from ..indoor.entities import FacilitySets
 
 __all__ = [
     "HttpRequest",
+    "PlainTextBody",
     "error_body",
     "json_response",
+    "text_response",
+    "render_body",
     "parse_query_payload",
     "parse_batch_payload",
     "parse_stream_open_payload",
@@ -168,6 +171,19 @@ def parse_events_payload(payload: Any) -> List[ClientEvent]:
     return [ClientEvent.from_payload(item) for item in payload]
 
 
+@dataclass
+class PlainTextBody:
+    """A non-JSON response body (e.g. Prometheus exposition text).
+
+    Handlers return one of these instead of a JSON-compatible payload
+    when the endpoint negotiated a text representation;
+    :func:`render_body` dispatches on the type.
+    """
+
+    text: str
+    content_type: str = "text/plain; charset=utf-8"
+
+
 def json_response(
     status: int, payload: Any
 ) -> bytes:
@@ -182,6 +198,27 @@ def json_response(
         f"\r\n"
     ).encode("latin-1")
     return head + body
+
+
+def text_response(status: int, payload: PlainTextBody) -> bytes:
+    """Serialise one HTTP response with a plain-text body."""
+    body = payload.text.encode("utf-8")
+    reason = STATUS_REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {payload.content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+def render_body(status: int, payload: Any) -> bytes:
+    """Serialise a handler's return value, whatever its shape."""
+    if isinstance(payload, PlainTextBody):
+        return text_response(status, payload)
+    return json_response(status, payload)
 
 
 def error_body(exc: BaseException) -> Tuple[int, Dict[str, Any]]:

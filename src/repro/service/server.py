@@ -53,10 +53,12 @@ pool retires its sessions.
 from __future__ import annotations
 
 import asyncio
+import sys
 import time
+import urllib.parse
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.request import QueryRequest, QueryResponse
@@ -67,21 +69,29 @@ from ..errors import (
     RequestTimeout,
     ServiceError,
 )
+from ..obs import flight as _flight
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from ..obs.flight import FlightRecorder
+from ..obs.logging import StructuredLog
 from ..obs.metrics import MetricsRegistry
+from ..obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
 from .batcher import Coalescer
 from .pool import SessionPool
 from .protocol import (
     HttpRequest,
+    PlainTextBody,
     content_length,
     error_body,
-    json_response,
     parse_batch_payload,
     parse_events_payload,
     parse_head,
     parse_query_payload,
     parse_stream_open_payload,
+    render_body,
     request_id_path,
 )
 
@@ -106,6 +116,10 @@ class ServiceConfig:
     request_timeout: Optional[float] = 30.0
     explain_capacity: int = 128
     stream_capacity: int = 32
+    flight_capacity: int = 256
+    slow_query_seconds: Optional[float] = 1.0
+    flight_dump_last: int = 16
+    log_stream: Optional[Any] = None
 
 
 @dataclass
@@ -144,6 +158,15 @@ class IFLSService:
         self.engine = engine
         self.config = config or ServiceConfig(**overrides)
         self.metrics = MetricsRegistry()
+        self.flight = FlightRecorder(
+            capacity=self.config.flight_capacity,
+            slow_threshold_seconds=self.config.slow_query_seconds,
+        )
+        self.log: Optional[StructuredLog] = (
+            StructuredLog(self.config.log_stream)
+            if self.config.log_stream is not None
+            else None
+        )
         self.pool = SessionPool(
             engine.snapshot(),
             size=self.config.pool_size,
@@ -173,7 +196,9 @@ class IFLSService:
         self._stream_seq = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._previous_metrics: Optional[MetricsRegistry] = None
+        self._previous_flight: Optional[FlightRecorder] = None
         self._owns_metrics = False
+        self._owns_flight = False
         self._started_monotonic: Optional[float] = None
         self._inflight = 0
         self._draining = False
@@ -182,11 +207,14 @@ class IFLSService:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> "IFLSService":
-        """Bind the listener and install the service metrics registry."""
+        """Bind the listener; install the service metrics registry and
+        the always-on flight recorder."""
         if self._server is not None:
             raise ServiceError("service is already started")
         self._previous_metrics = _metrics.install(self.metrics)
         self._owns_metrics = True
+        self._previous_flight = _flight.install(self.flight)
+        self._owns_flight = True
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.config.host,
@@ -239,6 +267,10 @@ class IFLSService:
         self.pool.close()
         self._streams.clear()
         self._flush_executor.shutdown(wait=drain)
+        if self._owns_flight:
+            _flight.install(self._previous_flight)
+            self._owns_flight = False
+            self._previous_flight = None
         if self._owns_metrics:
             _metrics.install(self._previous_metrics)
             self._owns_metrics = False
@@ -268,27 +300,96 @@ class IFLSService:
                 pass
 
     async def _respond(self, reader: asyncio.StreamReader) -> bytes:
-        """Read one request and produce the full response bytes."""
+        """Read one request and produce the full response bytes.
+
+        Every request — error responses included — gets a monotonic
+        correlation id (``r…``) minted here; the id tags the
+        ``service.request`` span, travels into the coalescer and the
+        pool through the request payloads, and names the structured
+        log line.  A 5xx answer dumps the flight recorder's tail.
+        """
         started = time.perf_counter()
         method, path = "?", "?"
+        request_id = _trace.next_request_id("r")
         try:
             request = await self._read_request(reader)
             method, path = request.method, request.path
             with _trace.span(
-                "service.request", method=method, path=path
+                "service.request",
+                method=method,
+                path=path,
+                request_id=request_id,
             ):
-                status, body = await self._dispatch(request)
+                status, body = await self._dispatch(
+                    request, request_id
+                )
         except Exception as exc:  # noqa: BLE001 - the edge maps all
             status, body = error_body(exc)
             _metrics.add("service.errors")
             if isinstance(exc, RequestTimeout):
                 _metrics.add("service.timeouts")
         _metrics.add("service.requests")
-        _metrics.record(
-            "service.request.seconds",
-            time.perf_counter() - started,
+        elapsed = time.perf_counter() - started
+        _metrics.record("service.request.seconds", elapsed)
+        self._log_request(
+            request_id, method, path, status, elapsed, body
         )
-        return json_response(status, body)
+        if status >= 500:
+            self._dump_flight(request_id, f"http_{status}")
+        return render_body(status, body)
+
+    def _log_request(
+        self,
+        request_id: str,
+        method: str,
+        path: str,
+        status: int,
+        elapsed: float,
+        body: Any,
+    ) -> None:
+        """Emit the one structured JSON log line of a finished request."""
+        if self.log is None:
+            return
+        fields: Dict[str, Any] = {
+            "request_id": request_id,
+            "method": method,
+            "path": path,
+            "status": status,
+            "seconds": round(elapsed, 6),
+            "backend": self.engine.backend,
+        }
+        if isinstance(body, dict):
+            if "error" in body:
+                fields["error"] = body["error"]
+            if "objective" in body:
+                fields["objective"] = body["objective"]
+                fields["algorithm"] = "efficient"
+            if "answer" in body:
+                fields["answer"] = body["answer"]
+            if "distance_delta" in body:
+                fields["distance_delta"] = body["distance_delta"]
+            if "elapsed_seconds" in body:
+                fields["solver_seconds"] = body["elapsed_seconds"]
+            stats = body.get("stats")
+            if isinstance(stats, dict):
+                fields["tiers"] = {
+                    "skips": stats.get("skips", 0),
+                    "partial": stats.get("partial_solves", 0),
+                    "full": stats.get("full_recomputes", 0),
+                }
+        self.log.emit("service.request", **fields)
+
+    def _dump_flight(self, request_id: str, trigger: str) -> None:
+        """Log the flight recorder's tail after a server-side failure."""
+        if self.log is None:
+            return
+        dump = self.flight.dump(last=self.config.flight_dump_last)
+        self.log.emit(
+            "flight.dump",
+            request_id=request_id,
+            trigger=trigger,
+            **dump,
+        )
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -327,14 +428,16 @@ class IFLSService:
     # Routing
     # ------------------------------------------------------------------
     async def _dispatch(
-        self, request: HttpRequest
+        self, request: HttpRequest, request_id: str
     ) -> Tuple[int, Any]:
-        path = request.path.split("?", 1)[0]
+        path, _, query_string = request.path.partition("?")
+        params = urllib.parse.parse_qs(query_string)
         if path == "/query":
             if request.method != "POST":
                 return self._method_not_allowed(request)
             query = parse_query_payload(request.json())
             self._validate_for_service(query)
+            query = replace(query, request_id=request_id)
             response = await self._answer(query)
             return 200, response.to_payload()
         if path == "/batch":
@@ -343,6 +446,10 @@ class IFLSService:
             queries = parse_batch_payload(request.json())
             for query in queries:
                 self._validate_for_service(query)
+            queries = [
+                replace(query, request_id=request_id)
+                for query in queries
+            ]
             responses = await self._answer_many(queries)
             return 200, {
                 "responses": [r.to_payload() for r in responses]
@@ -350,11 +457,22 @@ class IFLSService:
         if path == "/metrics":
             if request.method != "GET":
                 return self._method_not_allowed(request)
+            if self._wants_prometheus(request, params):
+                return 200, PlainTextBody(
+                    render_prometheus(self.metrics.snapshot()),
+                    content_type=PROMETHEUS_CONTENT_TYPE,
+                )
             return 200, self.metrics_payload()
         if path == "/health":
             if request.method != "GET":
                 return self._method_not_allowed(request)
             return 200, self.health_payload()
+        if path == "/debug/flight":
+            if request.method != "GET":
+                return self._method_not_allowed(request)
+            return 200, self.flight.dump(
+                last=self._last_param(params)
+            )
         if path == "/stream":
             if request.method != "POST":
                 return self._method_not_allowed(request)
@@ -367,7 +485,7 @@ class IFLSService:
                     if request.method != "POST":
                         return self._method_not_allowed(request)
                     return await self._apply_stream_events(
-                        stream_id, request.json()
+                        stream_id, request.json(), request_id
                     )
             elif rest and "/" not in rest:
                 if request.method == "GET":
@@ -407,6 +525,43 @@ class IFLSService:
             ),
             "status": 405,
         }
+
+    @staticmethod
+    def _wants_prometheus(
+        request: HttpRequest, params: Dict[str, List[str]]
+    ) -> bool:
+        """Negotiate the ``GET /metrics`` representation.
+
+        An explicit ``?format=`` parameter wins (``prometheus`` →
+        text exposition, anything else → JSON); otherwise an
+        ``Accept`` header asking for ``text/plain`` or OpenMetrics
+        selects the exposition format.
+        """
+        fmt = params.get("format")
+        if fmt:
+            return fmt[-1].lower() == "prometheus"
+        accept = request.headers.get("accept", "").lower()
+        return "text/plain" in accept or "openmetrics" in accept
+
+    @staticmethod
+    def _last_param(
+        params: Dict[str, List[str]],
+    ) -> Optional[int]:
+        """Decode the optional ``?last=N`` of ``GET /debug/flight``."""
+        raw = params.get("last")
+        if not raw:
+            return None
+        try:
+            value = int(raw[-1])
+        except ValueError:
+            raise ProtocolError(
+                f"bad 'last' parameter {raw[-1]!r}: not an integer"
+            )
+        if value < 0:
+            raise ProtocolError(
+                f"bad 'last' parameter {value}: must be >= 0"
+            )
+        return value
 
     @staticmethod
     def _validate_for_service(request: QueryRequest) -> None:
@@ -471,7 +626,10 @@ class IFLSService:
         explained = [
             i for i, r in enumerate(requests) if r.explain
         ]
-        with self.pool.session() as session:
+        request_ids = _trace.dedup_request_ids(
+            request.request_id for request in requests
+        )
+        with self.pool.session(request_ids=request_ids) as session:
             if plain:
                 results = session.run(
                     [requests[i] for i in plain],
@@ -582,7 +740,7 @@ class IFLSService:
         }
 
     async def _apply_stream_events(
-        self, stream_id: str, payload: Any
+        self, stream_id: str, payload: Any, request_id: str = ""
     ) -> Tuple[int, Any]:
         """``POST /stream/<id>/events``: apply one ordered batch.
 
@@ -591,6 +749,8 @@ class IFLSService:
         responsive.  A mid-batch error (e.g. removing an unknown
         client) leaves the already-applied prefix applied — events are
         validated before mutation, so the stream state stays coherent.
+        The request's correlation id tags every per-event
+        ``stream.event`` span of the batch.
         """
         state = self._streams.get(stream_id)
         if state is None:
@@ -602,6 +762,7 @@ class IFLSService:
                 self._flush_executor,
                 state.query.apply_batch,
                 events,
+                request_id,
             )
         return 200, {
             "stream_id": stream_id,
@@ -659,12 +820,14 @@ class IFLSService:
     # Introspection payloads
     # ------------------------------------------------------------------
     def health_payload(self) -> Dict[str, Any]:
-        """The ``GET /health`` body."""
+        """The ``GET /health`` body: liveness plus gauge snapshots of
+        the pool, the resident streams, and the flight recorder."""
         uptime = (
             time.monotonic() - self._started_monotonic
             if self._started_monotonic is not None
             else 0.0
         )
+        pool_stats = self.pool.stats()
         return {
             "status": "draining" if self._draining else "ok",
             "venue": self.engine.venue.name,
@@ -672,6 +835,22 @@ class IFLSService:
             "use_kernels": self.engine.use_kernels,
             "uptime_seconds": uptime,
             "queries_answered": self.coalescer.queries_answered,
+            "pool": {
+                "sessions": pool_stats.created,
+                "idle": pool_stats.idle,
+                "checked_out": pool_stats.checked_out,
+                "cache_bytes": pool_stats.cache_bytes,
+            },
+            "streams": {
+                "open": len(self._streams),
+                "capacity": self.config.stream_capacity,
+            },
+            "flight": {
+                "capacity": self.flight.capacity,
+                "records": self.flight.resident,
+                "dropped": self.flight.dropped,
+                "slow_queries": self.flight.slow_total,
+            },
         }
 
     def metrics_payload(self) -> Dict[str, Any]:
@@ -708,16 +887,24 @@ def run_service(
     before returning — the CLI entry point of ``ifls serve``.
     """
     service = IFLSService(engine, config=config, **overrides)
+    if service.log is None:
+        # The CLI runner always logs structurally; the first line is
+        # the machine-readable ``service.start`` event tooling parses
+        # for the bound address (tools/service_smoke.py).
+        service.log = StructuredLog(sys.stdout)
 
     async def _main() -> None:
         import signal
 
         await service.start()
-        print(
-            f"ifls service listening on {service.address} "
-            f"(venue {service.engine.venue.name!r}, "
-            f"pool {service.config.pool_size})",
-            flush=True,
+        assert service.log is not None
+        service.log.emit(
+            "service.start",
+            address=service.address,
+            venue=service.engine.venue.name,
+            backend=service.engine.backend,
+            pool=service.config.pool_size,
+            listening=f"listening on {service.address}",
         )
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()

@@ -1,5 +1,6 @@
 """Round-trip and formatting tests for :mod:`repro.obs.exporters`."""
 
+import math
 import os
 
 import pytest
@@ -130,3 +131,71 @@ class TestMetricsCsv:
         row = loaded["empty"]
         assert row["count"] == 0
         assert "min" not in row and "p50" not in row
+
+
+class TestHostileNames:
+    """Span/metric names containing newlines, commas, and escapes must
+    never tear a line-oriented export (regression: they used to land in
+    the tree and CSV verbatim)."""
+
+    HOSTILE = 'evil\nname,with\r"quotes"\tand\\slashes'
+
+    def make_hostile_tracer(self):
+        tracer = Tracer()
+        with tracer.span(self.HOSTILE, note="multi\nline,value"):
+            pass
+        return tracer
+
+    def test_jsonl_round_trips_hostile_names(self, tmp_path):
+        tracer = self.make_hostile_tracer()
+        path = tmp_path / "trace.jsonl"
+        count = write_trace_jsonl(tracer, path)
+        # One span -> exactly one physical line (JSON escapes \n).
+        assert count == 1
+        assert len(path.read_text().rstrip("\n").splitlines()) == 1
+        loaded = read_trace_jsonl(path)
+        assert loaded == tracer.sorted_records()
+        assert loaded[0].name == self.HOSTILE
+
+    def test_tree_stays_one_line_per_span(self):
+        rendered = format_trace_tree(self.make_hostile_tracer())
+        lines = rendered.splitlines()
+        assert len(lines) == 1
+        assert "\\n" in lines[0]  # escaped, not literal
+        assert "note=multi\\nline,value" in lines[0]
+
+    def test_csv_round_trips_hostile_metric_names(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.add(self.HOSTILE, 5)
+        registry.add("plain.count", 1)
+        path = tmp_path / "metrics.csv"
+        write_metrics_csv(registry, path)
+        loaded = read_metrics_csv(path)
+        assert loaded[self.HOSTILE]["value"] == 5
+        assert loaded["plain.count"]["value"] == 1
+
+
+class TestNonFiniteHistogramCells:
+    def test_nan_and_inf_render_deterministically(self, tmp_path):
+        snapshot = {
+            "histograms": {
+                "weird.seconds": {
+                    "count": 2,
+                    "sum": float("nan"),
+                    "min": float("-inf"),
+                    "max": float("inf"),
+                    "reservoir": [float("inf"), float("-inf")],
+                }
+            }
+        }
+        path = tmp_path / "metrics.csv"
+        write_metrics_csv(snapshot, path)
+        data_line = path.read_text().splitlines()[1]
+        assert "NaN" in data_line
+        assert "Inf" in data_line
+        assert "-Inf" in data_line
+        loaded = read_metrics_csv(path)
+        row = loaded["weird.seconds"]
+        assert math.isnan(row["sum"])
+        assert row["min"] == float("-inf")
+        assert row["max"] == float("inf")

@@ -1,0 +1,193 @@
+"""Prometheus text exposition: exact name mangling, rendering of a
+live registry, and the strict exposition lint CI runs on the scrape.
+"""
+
+import math
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    lint_exposition,
+    mangle_name,
+    render_prometheus,
+)
+
+
+class TestMangle:
+    def test_dots_become_underscores_with_prefix(self):
+        assert (
+            mangle_name("service.request.seconds")
+            == "ifls_service_request_seconds"
+        )
+
+    def test_counters_gain_total_suffix(self):
+        assert mangle_name("query.count", "counter") == (
+            "ifls_query_count_total"
+        )
+
+    def test_total_suffix_not_doubled(self):
+        assert mangle_name("grand.total", "counter") == (
+            "ifls_grand_total"
+        )
+
+    def test_non_counters_keep_bare_name(self):
+        assert mangle_name("cache.bytes", "gauge") == (
+            "ifls_cache_bytes"
+        )
+
+    def test_arbitrary_junk_is_mangled(self):
+        assert mangle_name("weird-name with/junk") == (
+            "ifls_weird_name_with_junk"
+        )
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.add("query.count", 3)
+    registry.add("flight.records", 7)
+    registry.set_gauge("cache.entries", 42)
+    for value in (0.1, 0.2, 0.3, 0.4):
+        registry.record("service.request.seconds", value)
+    return registry
+
+
+class TestRender:
+    def test_content_type_names_exposition_format(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+
+    def test_counter_gauge_histogram_families(self):
+        text = render_prometheus(populated_registry())
+        assert "ifls_query_count_total 3" in text
+        assert "ifls_cache_entries 42" in text
+        assert (
+            'ifls_service_request_seconds{quantile="0.5"}' in text
+        )
+        assert (
+            'ifls_service_request_seconds{quantile="0.95"}' in text
+        )
+        assert "ifls_service_request_seconds_count 4" in text
+        assert text.endswith("\n")
+
+    def test_help_text_comes_from_the_contract(self):
+        text = render_prometheus(populated_registry())
+        # flight.records is a contract metric: HELP carries its unit
+        # and fires text.
+        help_line = next(
+            line
+            for line in text.splitlines()
+            if line.startswith("# HELP ifls_flight_records_total")
+        )
+        assert "(spans)" in help_line
+
+    def test_uncontracted_metric_says_so(self):
+        registry = MetricsRegistry()
+        registry.add("no.such.metric")
+        text = render_prometheus(registry)
+        assert "not in the metrics contract" in text
+
+    def test_snapshot_input_equals_registry_input(self):
+        registry = populated_registry()
+        assert render_prometheus(registry) == render_prometheus(
+            registry.snapshot()
+        )
+
+    def test_empty_histogram_quantiles_are_nan(self):
+        snapshot = {
+            "histograms": {
+                "service.request.seconds": {
+                    "count": 0,
+                    "sum": 0.0,
+                    "min": math.inf,
+                    "max": -math.inf,
+                    "reservoir": [],
+                }
+            }
+        }
+        text = render_prometheus(snapshot)
+        assert (
+            'ifls_service_request_seconds{quantile="0.5"} NaN'
+            in text
+        )
+        assert "ifls_service_request_seconds_count 0" in text
+        assert lint_exposition(text) == []
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_render_is_lint_clean(self):
+        assert lint_exposition(
+            render_prometheus(populated_registry())
+        ) == []
+
+    def test_families_are_sorted_and_contiguous(self):
+        text = render_prometheus(populated_registry())
+        families = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert families == sorted(families)
+        assert len(families) == len(set(families))
+
+
+class TestLint:
+    def test_sample_without_type_flagged(self):
+        problems = lint_exposition("ifls_x 1\n")
+        assert any("no preceding TYPE" in p for p in problems)
+
+    def test_sample_without_help_flagged(self):
+        problems = lint_exposition(
+            "# TYPE ifls_x counter\nifls_x 1\n"
+        )
+        assert any("no preceding HELP" in p for p in problems)
+
+    def test_duplicate_family_flagged(self):
+        text = (
+            "# HELP ifls_x x\n# TYPE ifls_x counter\nifls_x 1\n"
+            "# HELP ifls_x x\n# TYPE ifls_x counter\nifls_x 2\n"
+        )
+        problems = lint_exposition(text)
+        assert any("duplicate HELP" in p for p in problems)
+        assert any("duplicate TYPE" in p for p in problems)
+
+    def test_interleaved_blocks_flagged(self):
+        text = (
+            "# HELP ifls_a a\n# TYPE ifls_a counter\n"
+            "# HELP ifls_b b\n# TYPE ifls_b counter\n"
+            "ifls_a 1\nifls_b 1\nifls_a 2\n"
+        )
+        problems = lint_exposition(text)
+        assert any("interleave" in p for p in problems)
+
+    def test_help_after_samples_flagged(self):
+        text = (
+            "# HELP ifls_a a\n# TYPE ifls_a counter\nifls_a 1\n"
+            "# TYPE ifls_a gauge\n"
+        )
+        problems = lint_exposition(text)
+        assert any("after its samples" in p for p in problems)
+
+    def test_bad_value_flagged(self):
+        text = (
+            "# HELP ifls_a a\n# TYPE ifls_a counter\n"
+            "ifls_a potato\n"
+        )
+        problems = lint_exposition(text)
+        assert any("invalid sample value" in p for p in problems)
+
+    def test_nan_and_inf_values_are_legal(self):
+        text = (
+            "# HELP ifls_a a\n# TYPE ifls_a summary\n"
+            'ifls_a{quantile="0.5"} NaN\n'
+            "ifls_a_sum +Inf\nifls_a_count 0\n"
+        )
+        assert lint_exposition(text) == []
+
+    def test_invalid_type_kind_flagged(self):
+        problems = lint_exposition("# TYPE ifls_a widget\n")
+        assert any("invalid TYPE 'widget'" in p for p in problems)
+
+    def test_bad_metric_name_flagged(self):
+        problems = lint_exposition("# TYPE 9bad counter\n")
+        assert any("invalid metric name" in p for p in problems)

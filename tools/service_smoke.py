@@ -11,12 +11,16 @@ library:
 * sends the same 50 queries as one ``POST /batch`` and checks order;
 * exports ``GET /metrics`` to an artifact file and asserts the pool's
   merged distance ledger has no invariant violations;
+* scrapes ``GET /metrics?format=prometheus``, runs the strict
+  exposition lint on the text, and writes the scrape as a second
+  artifact;
 * shuts the server down with SIGTERM and requires a graceful exit.
 
 Usage::
 
     PYTHONPATH=src python tools/service_smoke.py \
-        [--out service_metrics.json]
+        [--out service_metrics.json] \
+        [--prom-out service_metrics.prom]
 
 Exit status 0 means every check passed.
 """
@@ -38,6 +42,7 @@ from concurrent.futures import ThreadPoolExecutor
 from repro import IFLSEngine, QueryRequest
 from repro.datasets import venue_by_name
 from repro.indoor.entities import Client, FacilitySets, Point
+from repro.obs.prometheus import lint_exposition
 
 VENUE = "CPH"
 QUERIES = 50
@@ -103,6 +108,15 @@ def get_json(url, timeout=30.0):
         return json.loads(resp.read())
 
 
+def get_text(url, timeout=30.0):
+    """GET a non-JSON endpoint; returns (content_type, body)."""
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return (
+            resp.headers.get("Content-Type", ""),
+            resp.read().decode("utf-8"),
+        )
+
+
 def launch_server():
     """Start ``ifls serve`` on an OS-assigned port; return (proc, base)."""
     proc = subprocess.Popen(
@@ -117,6 +131,14 @@ def launch_server():
     )
     assert proc.stdout is not None
     line = proc.stdout.readline()
+    # The banner is one structured-log JSON line; fall back to the
+    # legacy regex so older servers still parse.
+    try:
+        event = json.loads(line)
+    except ValueError:
+        event = {}
+    if event.get("event") == "service.start" and event.get("address"):
+        return proc, event["address"]
     match = re.search(r"listening on (http://[\d.]+:\d+)", line)
     if not match:
         proc.kill()
@@ -145,6 +167,11 @@ def main() -> int:
         "--out",
         default="service_metrics.json",
         help="where to write the final /metrics export",
+    )
+    parser.add_argument(
+        "--prom-out",
+        default="service_metrics.prom",
+        help="where to write the Prometheus exposition scrape",
     )
     args = parser.parse_args()
 
@@ -218,6 +245,30 @@ def main() -> int:
         print(
             f"ledger clean; batcher answered {answered} queries in "
             f"{metrics['batcher']['batches_flushed']} flushes"
+        )
+
+        content_type, scrape = get_text(
+            f"{base}/metrics?format=prometheus"
+        )
+        if not content_type.startswith("text/plain"):
+            failures += 1
+            print(f"PROMETHEUS content type {content_type!r}")
+        problems = lint_exposition(scrape)
+        for problem in problems:
+            failures += 1
+            print(f"PROMETHEUS lint: {problem}")
+        if "ifls_service_requests_total" not in scrape:
+            failures += 1
+            print("PROMETHEUS scrape lacks ifls_service_requests_total")
+        with open(args.prom_out, "w") as handle:
+            handle.write(scrape)
+        families = sum(
+            1 for line in scrape.splitlines()
+            if line.startswith("# TYPE")
+        )
+        print(
+            f"prometheus scrape lint-clean ({families} families) "
+            f"-> {args.prom_out}"
         )
 
         proc.send_signal(signal.SIGTERM)
